@@ -1,0 +1,134 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (the same rows/series the paper reports), then times the
+   detector configurations with Bechamel.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- tables    # only the tables/figures
+     dune exec bench/main.exe -- timings   # only the Bechamel timings
+
+   Table/figure index (see DESIGN.md §4):
+     Figure 6  -> "fig6"      Figure 5    -> "fig5"
+     Figure 4  -> "fig4"      Figures 8/9 -> "fig8"
+     Figures 10/11 -> "pools" §4.3 -> "fneg"   §4.1 -> "bugs"
+     §4 alloc  -> "alloc"     §4.5 -> "perf"   §3.3 -> "deadlock"
+     ablations -> "segments", "states", "baselines" *)
+
+open Bechamel
+open Toolkit
+
+module R = Raceguard
+module Det = Raceguard_detector
+module Vm = Raceguard_vm
+module Sip = Raceguard_sip
+
+let seed = 7
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel test subjects: one per table/figure workload               *)
+(* ------------------------------------------------------------------ *)
+
+let run_t2 helgrind_configs ~djit () =
+  let cfg = { R.Runner.default with seed; helgrind_configs; run_djit = djit } in
+  ignore (R.Runner.run_test_case cfg Sip.Workload.t2)
+
+let run_scenario helgrind_configs scenario () =
+  let cfg = { R.Runner.default with seed; helgrind_configs } in
+  ignore (R.Runner.run_main cfg scenario)
+
+let offline_replay () =
+  (* record once per run, replay through the detector post mortem *)
+  let recorder = Det.Offline.create_recorder () in
+  let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed } () in
+  Vm.Engine.add_tool vm (Det.Offline.tool recorder);
+  let transport = Sip.Transport.create () in
+  let _ =
+    Vm.Engine.run vm (fun () ->
+        ignore
+          (Sip.Workload.run_test_case ~transport ~server_config:R.Runner.default.server
+             Sip.Workload.t3 ()))
+  in
+  let h = Det.Helgrind.create Det.Helgrind.hwlc_dr in
+  Det.Offline.replay recorder (Det.Helgrind.tool h)
+
+let minicc_pipeline () =
+  let module M = Raceguard_minicc in
+  let interp, _pretty, _n =
+    M.Interp.compile ~annotate:true ~file:"g.mcc" R.Experiments.figure4_source
+  in
+  let h = Det.Helgrind.create Det.Helgrind.hwlc_dr in
+  let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed } () in
+  Vm.Engine.add_tool vm (Det.Helgrind.tool h);
+  ignore (Vm.Engine.run vm (fun () -> M.Interp.run_main interp))
+
+let cfgs name c = [ (name, c) ]
+
+let tests =
+  [
+    (* Figure 6 / §4.5 series: T2 under each configuration *)
+    Test.make ~name:"fig6/T2-no-tool" (Staged.stage (run_t2 [] ~djit:false));
+    Test.make ~name:"fig6/T2-Original"
+      (Staged.stage (run_t2 (cfgs "Original" Det.Helgrind.original) ~djit:false));
+    Test.make ~name:"fig6/T2-HWLC"
+      (Staged.stage (run_t2 (cfgs "HWLC" Det.Helgrind.hwlc) ~djit:false));
+    Test.make ~name:"fig6/T2-HWLC+DR"
+      (Staged.stage (run_t2 (cfgs "HWLC+DR" Det.Helgrind.hwlc_dr) ~djit:false));
+    (* baselines: DJIT on the same workload *)
+    Test.make ~name:"baselines/T2-DJIT" (Staged.stage (run_t2 [] ~djit:true));
+    (* ablation: pure Eraser (no state machine) *)
+    Test.make ~name:"states/T2-pure-eraser"
+      (Staged.stage (run_t2 (cfgs "pure" Det.Helgrind.pure_eraser) ~djit:false));
+    (* Figures 8/9: the string test *)
+    Test.make ~name:"fig8/stringtest-original"
+      (Staged.stage
+         (run_scenario (cfgs "Original" Det.Helgrind.original) R.Scenarios.stringtest));
+    Test.make ~name:"fig8/stringtest-hwlc"
+      (Staged.stage (run_scenario (cfgs "HWLC" Det.Helgrind.hwlc) R.Scenarios.stringtest));
+    (* Figures 10/11: handoff patterns *)
+    Test.make ~name:"pools/handoff-per-request"
+      (Staged.stage
+         (run_scenario (cfgs "HWLC+DR" Det.Helgrind.hwlc_dr) R.Scenarios.handoff_per_request));
+    Test.make ~name:"pools/handoff-queue"
+      (Staged.stage
+         (run_scenario (cfgs "HWLC+DR" Det.Helgrind.hwlc_dr) R.Scenarios.handoff_pool));
+    (* §4.5 offline mode: record + post-mortem replay *)
+    Test.make ~name:"perf/offline-record-replay-T3" (Staged.stage offline_replay);
+    (* Figure 4: the full MiniC++ instrumentation pipeline *)
+    Test.make ~name:"fig4/minicc-pipeline" (Staged.stage minicc_pipeline);
+  ]
+
+let run_timings () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"raceguard" tests) in
+  let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Bechamel timings (monotonic clock, OLS estimate per run):";
+  print_endline "";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    analyzed;
+  let rows = List.sort compare !rows in
+  let width = List.fold_left (fun w (n, _) -> max w (String.length n)) 0 rows in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-*s  %12.3f ms/run\n" width name (ns /. 1e6))
+    rows
+
+let run_tables () =
+  List.iter
+    (fun (id, descr, f) ->
+      Printf.printf "==== %s — %s ====\n%!" id descr;
+      print_endline (f ());
+      print_newline ())
+    R.Experiments.all
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "tables" || what = "all" then run_tables ();
+  if what = "timings" || what = "all" then run_timings ()

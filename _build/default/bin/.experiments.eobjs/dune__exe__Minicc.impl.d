@@ -1,0 +1,1 @@
+bin/minicc.ml: Arg Cmd Cmdliner Fmt List Printexc Printf Raceguard_detector Raceguard_minicc Raceguard_vm Term

@@ -1,0 +1,50 @@
+(** Command-line entry point regenerating the paper's tables/figures.
+
+    {v
+    raceguard-experiments list          # available experiments
+    raceguard-experiments run fig6      # one experiment
+    raceguard-experiments run all       # everything
+    v} *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let run () =
+    List.iter
+      (fun (name, descr, _) -> Printf.printf "%-10s %s\n" name descr)
+      Raceguard.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one experiment (or 'all')." in
+  let experiment_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc:"experiment id")
+  in
+  let run name =
+    let run_one (id, descr, f) =
+      Printf.printf "==== %s — %s ====\n%!" id descr;
+      print_endline (f ());
+      print_newline ()
+    in
+    if name = "all" then begin
+      List.iter run_one Raceguard.Experiments.all;
+      `Ok ()
+    end
+    else
+      match List.find_opt (fun (id, _, _) -> id = name) Raceguard.Experiments.all with
+      | Some e ->
+          run_one e;
+          `Ok ()
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %S; try 'raceguard-experiments list'" name )
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ experiment_arg))
+
+let () =
+  let doc = "Reproduce the tables and figures of the paper." in
+  let info = Cmd.info "raceguard-experiments" ~version:"0.9" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/minicc_pipeline.ml: Array Fmt List Printexc Printf Raceguard Raceguard_detector Raceguard_minicc Raceguard_vm String Sys

@@ -1,0 +1,1 @@
+examples/minicc_pipeline.mli:

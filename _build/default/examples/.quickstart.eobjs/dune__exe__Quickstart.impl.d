@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Printf Raceguard_detector Raceguard_util Raceguard_vm

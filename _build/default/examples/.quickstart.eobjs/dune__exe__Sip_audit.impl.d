@@ -1,0 +1,1 @@
+examples/sip_audit.ml: Array Fmt List Printf Raceguard Raceguard_detector Raceguard_sip Sys

@@ -1,0 +1,1 @@
+examples/string_refcount.ml: Raceguard

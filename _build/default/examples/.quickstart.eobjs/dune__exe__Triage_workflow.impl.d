@@ -1,0 +1,1 @@
+examples/triage_workflow.ml: Fmt List Printf Raceguard_detector Raceguard_util Raceguard_vm

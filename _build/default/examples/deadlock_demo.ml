@@ -1,0 +1,6 @@
+(* Deadlock detection, both predictive (lock-order graph) and at
+   runtime (waits-for cycle in the scheduler).
+
+     dune exec examples/deadlock_demo.exe *)
+
+let () = print_endline (Raceguard.Experiments.deadlock ())

@@ -1,0 +1,51 @@
+(* Quickstart: write a small multi-threaded program against the VM API,
+   run it under the Helgrind-style detector, and read the reports.
+
+     dune exec examples/quickstart.exe
+
+   The program has one real data race (the unlocked counter) and one
+   correctly locked counter.  The detector flags exactly the former. *)
+
+module Vm = Raceguard_vm
+module Det = Raceguard_detector
+module Loc = Raceguard_util.Loc
+module Api = Vm.Api
+
+(* give every access a pseudo source position — reports quote these *)
+let loc line = Loc.v "quickstart.c" "main" line
+
+let program () =
+  let racy = Api.alloc ~loc:(loc 3) 1 in
+  let safe = Api.alloc ~loc:(loc 4) 1 in
+  let m = Api.Mutex.create ~loc:(loc 5) "counter_guard" in
+  let worker () =
+    Api.with_frame (Loc.v "quickstart.c" "worker" 8) @@ fun () ->
+    for _ = 1 to 5 do
+      (* BUG: unlocked read-modify-write of shared memory *)
+      let v = Api.read ~loc:(loc 11) racy in
+      Api.write ~loc:(loc 12) racy (v + 1);
+      (* correct: same pattern under a mutex *)
+      Api.Mutex.with_lock ~loc:(loc 14) m (fun () ->
+          let v = Api.read ~loc:(loc 15) safe in
+          Api.write ~loc:(loc 16) safe (v + 1))
+    done
+  in
+  let t1 = Api.spawn ~loc:(loc 20) ~name:"worker-1" worker in
+  let t2 = Api.spawn ~loc:(loc 21) ~name:"worker-2" worker in
+  Api.join ~loc:(loc 22) t1;
+  Api.join ~loc:(loc 23) t2;
+  Printf.printf "racy counter = %d, safe counter = %d (both \"should\" be 10)\n"
+    (Api.read ~loc:(loc 25) racy)
+    (Api.read ~loc:(loc 26) safe)
+
+let () =
+  (* 1. create a VM, 2. attach the detector, 3. run, 4. read reports *)
+  let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed = 42 } () in
+  let helgrind = Det.Helgrind.create Det.Helgrind.hwlc_dr in
+  Vm.Engine.add_tool vm (Det.Helgrind.tool helgrind);
+  let outcome = Vm.Engine.run vm program in
+  Printf.printf "\nexecuted %d operations on %d threads\n" outcome.stats.ops_executed
+    outcome.stats.threads_created;
+  let locations = Det.Helgrind.locations helgrind in
+  Printf.printf "detector reported %d distinct location(s):\n\n" (List.length locations);
+  List.iter (fun (r, n) -> Fmt.pr "[%d occurrence(s)] %a@." n Det.Report.pp r) locations

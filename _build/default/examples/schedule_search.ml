@@ -1,0 +1,6 @@
+(* Systematic schedule exploration: deterministically find the §4.3
+   race that the lock-set algorithm only reports on some schedules.
+
+     dune exec examples/schedule_search.exe *)
+
+let () = print_endline (Raceguard.Experiments.explore ())

@@ -1,0 +1,6 @@
+(* Figure 8/9: the copy-on-write string false positive, side by side
+   under the original and the corrected hardware bus-lock model.
+
+     dune exec examples/string_refcount.exe *)
+
+let () = print_endline (Raceguard.Experiments.fig8 ())

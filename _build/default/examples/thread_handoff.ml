@@ -1,0 +1,13 @@
+(* Thread segments and ownership transfer: Figures 2, 10 and 11.
+
+     dune exec examples/thread_handoff.exe
+
+   The same producer/worker data exchange is run twice: once handing
+   the buffer over through thread creation (thread-per-request), once
+   through a message queue (thread pool).  The detector stays silent on
+   the first and reports the second, then the segments ablation shows
+   why. *)
+
+let () =
+  print_endline (Raceguard.Experiments.pools ());
+  print_endline (Raceguard.Experiments.segments_ablation ())

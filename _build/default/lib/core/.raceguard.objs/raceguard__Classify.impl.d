@@ -1,0 +1,1 @@
+lib/core/classify.ml: List Raceguard_detector Raceguard_sip Raceguard_util Set

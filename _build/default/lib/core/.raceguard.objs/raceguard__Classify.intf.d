@@ -1,0 +1,1 @@
+lib/core/classify.mli: Raceguard_detector Raceguard_sip Set

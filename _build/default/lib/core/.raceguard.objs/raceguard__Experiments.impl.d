@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Buffer Classify Fmt List Printf Raceguard_cxxsim Raceguard_detector Raceguard_minicc Raceguard_sip Raceguard_util Raceguard_vm Runner Scenarios String Unix

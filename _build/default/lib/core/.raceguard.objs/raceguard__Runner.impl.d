@@ -1,0 +1,1 @@
+lib/core/runner.ml: List Raceguard_detector Raceguard_sip Raceguard_vm Unix

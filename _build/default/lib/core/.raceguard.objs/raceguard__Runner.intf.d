@@ -1,0 +1,1 @@
+lib/core/runner.mli: Raceguard_detector Raceguard_sip Raceguard_vm

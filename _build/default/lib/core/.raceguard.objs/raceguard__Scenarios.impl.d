@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Raceguard_cxxsim Raceguard_util Raceguard_vm

@@ -1,0 +1,108 @@
+(** The debugging-process driver (Figure 3).
+
+    [Instrumentation → Compilation → Execution(VM) → Results]: the
+    simulated application is always built {e with} the automatic
+    annotation (the client requests are no-ops under normal execution,
+    §3.1), one VM run executes the workload, and any number of detector
+    configurations observe the same serialised event stream
+    simultaneously — so configuration comparisons (Figures 5/6) see
+    identical schedules and differ only in the algorithm. *)
+
+module Vm = Raceguard_vm
+module Det = Raceguard_detector
+module Sip = Raceguard_sip
+
+type config = {
+  seed : int;
+  policy : Vm.Engine.policy;
+  helgrind_configs : (string * Det.Helgrind.config) list;
+      (** configurations run side by side on the same event stream *)
+  run_djit : bool;
+  run_lock_order : bool;
+  server : Sip.Proxy.config;
+  trace_events : bool;
+  max_ops : int;
+}
+
+let default =
+  {
+    seed = 1;
+    policy = Vm.Engine.Random_seeded;
+    helgrind_configs =
+      [
+        ("Original", Det.Helgrind.original);
+        ("HWLC", Det.Helgrind.hwlc);
+        ("HWLC+DR", Det.Helgrind.hwlc_dr);
+      ];
+    run_djit = false;
+    run_lock_order = false;
+    server = { Sip.Proxy.default_config with annotate = true };
+    trace_events = false;
+    max_ops = 50_000_000;
+  }
+
+type result = {
+  helgrind : (string * Det.Helgrind.t) list;
+  djit : Det.Djit.t option;
+  lock_order : Det.Lock_order.t option;
+  outcome : Vm.Engine.outcome;
+  oracle : Sip.Workload.run_result option;
+  wall_seconds : float;
+}
+
+(** Run an arbitrary VM main function under the configured detectors. *)
+let run_main config main =
+  let vm_config =
+    {
+      Vm.Engine.seed = config.seed;
+      policy = config.policy;
+      reuse_memory = true;
+      trace_events = config.trace_events;
+      max_ops = config.max_ops;
+    }
+  in
+  let vm = Vm.Engine.create ~config:vm_config () in
+  let helgrind =
+    List.map (fun (name, hc) -> (name, Det.Helgrind.create hc)) config.helgrind_configs
+  in
+  List.iter (fun (_, h) -> Vm.Engine.add_tool vm (Det.Helgrind.tool h)) helgrind;
+  let djit =
+    if config.run_djit then begin
+      let d = Det.Djit.create () in
+      Vm.Engine.add_tool vm (Det.Djit.tool d);
+      Some d
+    end
+    else None
+  in
+  let lock_order =
+    if config.run_lock_order then begin
+      let l = Det.Lock_order.create () in
+      Vm.Engine.add_tool vm (Det.Lock_order.tool l);
+      Some l
+    end
+    else None
+  in
+  let t0 = Unix.gettimeofday () in
+  let value = ref None in
+  let outcome = Vm.Engine.run vm (fun () -> value := Some (main ())) in
+  let wall = Unix.gettimeofday () -. t0 in
+  ( { helgrind; djit; lock_order; outcome; oracle = None; wall_seconds = wall },
+    !value )
+
+(** Run one of the eight SIP test cases. *)
+let run_test_case config tc =
+  let transport = Sip.Transport.create () in
+  let result, oracle =
+    run_main config (Sip.Workload.run_test_case ~transport ~server_config:config.server tc)
+  in
+  { result with oracle }
+
+let locations_of result name =
+  match List.assoc_opt name result.helgrind with
+  | Some h -> Det.Helgrind.locations h
+  | None -> invalid_arg ("no helgrind config named " ^ name)
+
+let location_count result name =
+  match List.assoc_opt name result.helgrind with
+  | Some h -> Det.Helgrind.location_count h
+  | None -> invalid_arg ("no helgrind config named " ^ name)

@@ -1,0 +1,141 @@
+(** Small self-contained VM programs used by experiments and tests:
+    the paper's Figure 8 string test, the §4.3 false-negative schedule,
+    the Figure 10/11 handoff patterns, and a classic lock-order
+    inversion. *)
+
+module Loc = Raceguard_util.Loc
+module Api = Raceguard_vm.Api
+module Refstring = Raceguard_cxxsim.Refstring
+
+(** Figure 8: stringtest.cpp.  A [std::string] is created by the main
+    thread, copied by a worker and (later) by main again.  The copies
+    bump the shared reference counter with bus-locked increments while
+    the [_M_is_shared] checks read it plainly — the exact access mix
+    the original bus-lock model misinterprets. *)
+let stringtest () =
+  let lc line = Loc.v "stringtest.cpp" "main" line in
+  let text = Refstring.create ~loc:(lc 16) "contents" in
+  let worker () =
+    Api.with_frame (Loc.v "stringtest.cpp" "workerThread" 8) @@ fun () ->
+    (* std::string text = dereference-and-copy of the argument *)
+    let local = Refstring.copy text in
+    Api.sleep 2;
+    Refstring.release local
+  in
+  let tid = Api.spawn ~loc:(lc 19) ~name:"workerThread" worker in
+  Api.sleep 10;
+  (* std::string text_copy = text;   <- reported conflict (line 22) *)
+  let text_copy = Refstring.copy text in
+  Api.join ~loc:(lc 25) tid;
+  Refstring.release text_copy;
+  Refstring.release text
+
+(** §4.3: the delayed lock-set initialisation false negative.  One
+    thread writes a shared word with no lock; another writes it while
+    {e coincidentally} holding a lock.  Whether the lock-set algorithm
+    reports the race depends on which access the schedule orders first
+    — "this is not guaranteed to happen in the development
+    environment". *)
+let false_negative_schedule () =
+  let lc f line = Loc.v "fneg.cpp" f line in
+  let v = Api.alloc ~loc:(lc "main" 3) 1 in
+  let m = Api.Mutex.create ~loc:(lc "main" 4) "coincidental" in
+  let unlocked_writer () =
+    Api.with_frame (lc "unlocked_writer" 7) @@ fun () ->
+    Api.write ~loc:(lc "unlocked_writer" 8) v 1
+  in
+  let locked_writer () =
+    Api.with_frame (lc "locked_writer" 11) @@ fun () ->
+    Api.Mutex.with_lock ~loc:(lc "locked_writer" 12) m (fun () ->
+        Api.write ~loc:(lc "locked_writer" 13) v 2)
+  in
+  let t1 = Api.spawn ~loc:(lc "main" 16) ~name:"unlocked" unlocked_writer in
+  let t2 = Api.spawn ~loc:(lc "main" 17) ~name:"locked" locked_writer in
+  Api.join ~loc:(lc "main" 18) t1;
+  Api.join ~loc:(lc "main" 19) t2
+
+(** Figure 10: thread-per-request handoff.  The producer initialises a
+    buffer, {e then} spawns the worker; the worker processes and the
+    producer reuses the memory only after joining.  With thread
+    segments the whole exchange stays EXCLUSIVE — zero reports. *)
+let handoff_per_request () =
+  let lc f line = Loc.v "handoff.cpp" f line in
+  let data = Api.alloc ~loc:(lc "main" 3) 8 in
+  for i = 0 to 7 do
+    Api.write ~loc:(lc "main" 5) (data + i) (i * i)
+  done;
+  let worker () =
+    Api.with_frame (lc "worker" 8) @@ fun () ->
+    let sum = ref 0 in
+    for i = 0 to 7 do
+      sum := !sum + Api.read ~loc:(lc "worker" 11) (data + i)
+    done;
+    Api.write ~loc:(lc "worker" 13) data !sum
+  in
+  let tid = Api.spawn ~loc:(lc "main" 15) ~name:"worker" worker in
+  Api.join ~loc:(lc "main" 16) tid;
+  (* safe: the join ordered the worker's writes before this *)
+  Api.write ~loc:(lc "main" 18) data 0;
+  Api.free ~loc:(lc "main" 19) data
+
+(** Figure 11: the same exchange through a message queue and a
+    pre-started worker (a one-thread pool).  The put/get ordering is
+    real but invisible to the lock-set algorithm — false positives. *)
+let handoff_pool () =
+  let lc f line = Loc.v "handoff_pool.cpp" f line in
+  let queue = Raceguard_vm.Msg_queue.create ~annotated:true ~name:"pool.q" ~capacity:4 () in
+  let done_sem = Api.Sem.create ~loc:(lc "main" 4) ~init:0 "done" in
+  let worker () =
+    Api.with_frame (lc "worker" 6) @@ fun () ->
+    let data = Raceguard_vm.Msg_queue.get queue in
+    let sum = ref 0 in
+    for i = 0 to 7 do
+      sum := !sum + Api.read ~loc:(lc "worker" 10) (data + i)
+    done;
+    (* "process data": writes to producer-initialised memory *)
+    Api.write ~loc:(lc "worker" 13) data !sum;
+    (* instrumented build: the post/wait handback is annotated too *)
+    Api.annotate_happens_before ~tag:data;
+    Api.Sem.post ~loc:(lc "worker" 14) done_sem
+  in
+  (* the worker exists before the data does *)
+  let tid = Api.spawn ~loc:(lc "main" 17) ~name:"pool-worker" worker in
+  let data = Api.alloc ~loc:(lc "main" 18) 8 in
+  for i = 0 to 7 do
+    Api.write ~loc:(lc "main" 20) (data + i) (i * i)
+  done;
+  Raceguard_vm.Msg_queue.put queue data;
+  Api.Sem.wait ~loc:(lc "main" 23) done_sem;
+  Api.annotate_happens_after ~tag:data;
+  Api.write ~loc:(lc "main" 24) data 0;
+  Api.free ~loc:(lc "main" 25) data;
+  Api.join ~loc:(lc "main" 26) tid
+
+(** Lock-order inversion that does not necessarily deadlock at runtime
+    (the predictive detector must still flag it), plus a knob to force
+    the actual deadlock. *)
+let lock_order_inversion ~force_deadlock () =
+  let lc f line = Loc.v "transfer.cpp" f line in
+  let accounts = Api.Mutex.create ~loc:(lc "main" 3) "accounts"
+  and audit = Api.Mutex.create ~loc:(lc "main" 4) "audit" in
+  let transfer () =
+    Api.with_frame (lc "transfer" 6) @@ fun () ->
+    Api.Mutex.lock ~loc:(lc "transfer" 7) accounts;
+    if force_deadlock then Api.sleep 5 else Api.yield ();
+    Api.Mutex.lock ~loc:(lc "transfer" 9) audit;
+    Api.Mutex.unlock ~loc:(lc "transfer" 10) audit;
+    Api.Mutex.unlock ~loc:(lc "transfer" 11) accounts
+  in
+  let reconcile () =
+    Api.with_frame (lc "reconcile" 14) @@ fun () ->
+    Api.Mutex.lock ~loc:(lc "reconcile" 15) audit;
+    if force_deadlock then Api.sleep 5 else Api.yield ();
+    Api.Mutex.lock ~loc:(lc "reconcile" 17) accounts;
+    Api.Mutex.unlock ~loc:(lc "reconcile" 18) accounts;
+    Api.Mutex.unlock ~loc:(lc "reconcile" 19) audit
+  in
+  let t1 = Api.spawn ~loc:(lc "main" 21) ~name:"transfer" transfer in
+  if not force_deadlock then Api.join ~loc:(lc "main" 22) t1;
+  let t2 = Api.spawn ~loc:(lc "main" 23) ~name:"reconcile" reconcile in
+  if force_deadlock then Api.join ~loc:(lc "main" 24) t1;
+  Api.join ~loc:(lc "main" 25) t2

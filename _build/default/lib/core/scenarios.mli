@@ -1,0 +1,25 @@
+(** Small self-contained VM programs used by experiments and tests.
+    Each is a VM main function: run with
+    {!Raceguard_vm.Engine.run} or {!Runner.run_main}. *)
+
+val stringtest : unit -> unit
+(** Figure 8: stringtest.cpp — a shared CoW string whose bus-locked
+    refcount the original bus-lock model misreports. *)
+
+val false_negative_schedule : unit -> unit
+(** §4.3: one unlocked writer, one coincidentally locked writer;
+    whether the lock-set algorithm reports depends on the schedule. *)
+
+val handoff_per_request : unit -> unit
+(** Figure 10: ownership transfer through thread create/join — silent
+    with thread segments. *)
+
+val handoff_pool : unit -> unit
+(** Figure 11: the same transfer through a message queue and a
+    pre-started worker — false positives unless annotations are
+    honoured (the queue and the post/wait handback are annotated, as in
+    the instrumented build). *)
+
+val lock_order_inversion : force_deadlock:bool -> unit -> unit
+(** Two locks taken in opposite orders; [force_deadlock] arranges the
+    overlap so the run actually deadlocks. *)

@@ -1,0 +1,1 @@
+lib/cxxsim/allocator.ml: Fmt Hashtbl Raceguard_util Raceguard_vm

@@ -1,0 +1,1 @@
+lib/cxxsim/allocator.mli: Format Raceguard_util

@@ -1,0 +1,1 @@
+lib/cxxsim/containers.ml: Allocator Raceguard_util Raceguard_vm

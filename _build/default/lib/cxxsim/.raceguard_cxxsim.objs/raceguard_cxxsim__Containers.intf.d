@@ -1,0 +1,1 @@
+lib/cxxsim/containers.mli: Allocator

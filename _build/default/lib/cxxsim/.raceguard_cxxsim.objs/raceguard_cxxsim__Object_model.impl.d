@@ -1,0 +1,1 @@
+lib/cxxsim/object_model.ml: Fmt Hashtbl List Raceguard_util Raceguard_vm Refstring

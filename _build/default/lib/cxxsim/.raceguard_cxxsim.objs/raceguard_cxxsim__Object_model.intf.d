@@ -1,0 +1,1 @@
+lib/cxxsim/object_model.mli: Raceguard_util

@@ -1,0 +1,1 @@
+lib/cxxsim/refstring.ml: Char Raceguard_util Raceguard_vm String

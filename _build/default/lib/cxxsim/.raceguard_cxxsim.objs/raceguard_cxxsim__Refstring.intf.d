@@ -1,0 +1,1 @@
+lib/cxxsim/refstring.mli: Raceguard_util

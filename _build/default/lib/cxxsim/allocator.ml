@@ -1,0 +1,87 @@
+(** Container allocators: the GNU libstdc++ pool allocator issue.
+
+    "Memory is reused internally and accesses to the reused memory
+    regions are reported as data races, even though the accesses are
+    separated by freeing and allocating, as Helgrind does not know
+    anything about them.  Fortunately, the allocation strategy of the
+    GNU Standard C++ Library is configurable with environment
+    variables" (§4).
+
+    [Pooled] reproduces the default pool behaviour: chunks are carved
+    out of slabs obtained from the VM heap and recycled on an internal
+    free list — no [malloc]/[free] events reach the detector, so the
+    shadow state of a chunk leaks from its previous logical lifetime
+    into the next one and produces false positives whenever the chunk
+    migrates between threads.
+
+    [Direct] reproduces [GLIBCXX_FORCE_NEW]: every allocation goes
+    straight to the VM heap, the detector sees every lifetime boundary
+    and resets the shadow state. *)
+
+module Loc = Raceguard_util.Loc
+module Api = Raceguard_vm.Api
+
+type mode = Direct | Pooled
+
+let pp_mode ppf = function
+  | Direct -> Fmt.string ppf "direct (GLIBCXX_FORCE_NEW)"
+  | Pooled -> Fmt.string ppf "pooled (default)"
+
+let slab_chunks = 32
+(** chunks carved from each slab *)
+
+type t = {
+  mode : mode;
+  free_lists : (int, int list ref) Hashtbl.t;  (** size -> chunk addresses *)
+  mutable slabs_allocated : int;
+  mutable pool_hits : int;
+}
+
+let create mode = { mode; free_lists = Hashtbl.create 16; slabs_allocated = 0; pool_hits = 0 }
+
+let lc line = Loc.v "pool_allocator.h" "__pool_alloc" line
+
+let alloc t ~loc n =
+  match t.mode with
+  | Direct -> Api.alloc ~loc n
+  | Pooled -> (
+      let cell =
+        match Hashtbl.find_opt t.free_lists n with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.replace t.free_lists n c;
+            c
+      in
+      match !cell with
+      | chunk :: rest ->
+          cell := rest;
+          t.pool_hits <- t.pool_hits + 1;
+          chunk
+      | [] ->
+          (* carve a fresh slab into chunks; only the slab allocation
+             is visible to the detector *)
+          let slab = Api.alloc ~loc:(lc 120) (n * slab_chunks) in
+          t.slabs_allocated <- t.slabs_allocated + 1;
+          for i = slab_chunks - 1 downto 1 do
+            cell := (slab + (i * n)) :: !cell
+          done;
+          slab)
+
+let free t ~loc addr n =
+  match t.mode with
+  | Direct -> Api.free ~loc addr
+  | Pooled ->
+      (* recycled silently: no event reaches the detector *)
+      let cell =
+        match Hashtbl.find_opt t.free_lists n with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.replace t.free_lists n c;
+            c
+      in
+      cell := addr :: !cell
+
+let slabs_allocated t = t.slabs_allocated
+let pool_hits t = t.pool_hits

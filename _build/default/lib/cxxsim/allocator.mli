@@ -1,0 +1,26 @@
+(** Container allocators: the GNU libstdc++ pool-allocator issue (§4).
+
+    [Pooled] recycles chunks on internal free lists with no VM
+    malloc/free events, so detector shadow state leaks across logical
+    lifetimes and produces false positives; [Direct]
+    ([GLIBCXX_FORCE_NEW]) makes every lifetime boundary visible. *)
+
+module Loc = Raceguard_util.Loc
+
+type mode = Direct | Pooled
+
+val pp_mode : Format.formatter -> mode -> unit
+
+val slab_chunks : int
+(** Chunks carved from each slab in [Pooled] mode. *)
+
+type t
+
+val create : mode -> t
+val alloc : t -> loc:Loc.t -> int -> int
+val free : t -> loc:Loc.t -> int -> int -> unit
+(** [free t ~loc addr n]: release a chunk of size [n]. *)
+
+val slabs_allocated : t -> int
+val pool_hits : t -> int
+(** How many allocations were served from recycled chunks. *)

@@ -1,0 +1,41 @@
+(** STL-like containers with storage in VM memory: a growing vector and
+    a sorted map (linked nodes standing in for the red-black tree — the
+    per-operation access pattern is what matters at simulation sizes).
+    Both allocate through the {!Allocator} they were "instantiated"
+    with, so the pool-allocator experiment flips one switch. *)
+
+module Vector : sig
+  type t
+
+  val create : Allocator.t -> t
+  val size : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val push_back : t -> int -> unit
+  val iter : t -> (int -> unit) -> unit
+  val destroy : t -> unit
+end
+
+module Map : sig
+  type t
+
+  val create : Allocator.t -> t
+
+  val address : t -> int
+  (** The header address — what a method "returning a reference to the
+      internal map" hands out (the Figure-7 bug pattern). *)
+
+  val of_address : Allocator.t -> int -> t
+  (** Rebuild a view from an escaped address (the caller side of the
+      same bug). *)
+
+  val size : t -> int
+  val find : t -> int -> int option
+  val insert : t -> int -> int -> unit
+  (** Sorted insert; updates in place when the key exists. *)
+
+  val remove : t -> int -> bool
+  val iter : t -> (int -> int -> unit) -> unit
+  val clear : t -> unit
+  val destroy : t -> unit
+end

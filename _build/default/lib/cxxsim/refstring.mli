@@ -1,0 +1,43 @@
+(** A GNU-libstdc++-style copy-on-write reference-counted string — the
+    [std::string] of Figures 8/9.
+
+    The shared representation block carries a reference counter updated
+    with bus-locked increments but {e inspected} with plain reads: the
+    access mix that the original Helgrind bus-lock model misreports and
+    the HWLC correction accepts. *)
+
+module Loc = Raceguard_util.Loc
+
+type t = int
+(** Address of the representation block ([refcount; length; chars...]). *)
+
+val create : loc:Loc.t -> string -> t
+(** Fresh representation with reference count 1. *)
+
+val length : t -> int
+val get_char : t -> int -> int
+
+val is_shared : t -> bool
+(** Plain (unlocked) read of the reference counter — the
+    [_M_is_shared]-style check. *)
+
+val copy : t -> t
+(** Share the representation: plain check + bus-locked increment
+    ([_M_grab]). *)
+
+val release : t -> unit
+(** Drop one reference (bus-locked decrement); frees the representation
+    at zero ([_M_dispose]). *)
+
+val to_string : t -> string
+(** Read the character data out (plain reads). *)
+
+val clone : loc:Loc.t -> t -> t
+(** Deep copy into a fresh representation. *)
+
+val set_char : loc:Loc.t -> t -> int -> char -> t
+(** Copy-on-write mutation: unshares first when needed; returns the
+    (possibly new) representation. *)
+
+val equal : t -> t -> bool
+val hash : t -> int

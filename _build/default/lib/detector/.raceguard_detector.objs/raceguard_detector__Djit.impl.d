@@ -1,0 +1,1 @@
+lib/detector/djit.ml: Fmt Hashtbl Hb_clocks List Raceguard_util Raceguard_vm Report Vector_clock

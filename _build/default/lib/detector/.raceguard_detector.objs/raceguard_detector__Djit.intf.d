@@ -1,0 +1,1 @@
+lib/detector/djit.mli: Raceguard_vm Report Suppression

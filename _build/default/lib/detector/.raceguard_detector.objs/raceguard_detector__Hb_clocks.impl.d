@@ -1,0 +1,1 @@
+lib/detector/hb_clocks.ml: Hashtbl Raceguard_vm Vector_clock

@@ -1,0 +1,1 @@
+lib/detector/hb_clocks.mli: Raceguard_vm Vector_clock

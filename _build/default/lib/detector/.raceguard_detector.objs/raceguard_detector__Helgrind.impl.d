@@ -1,0 +1,1 @@
+lib/detector/helgrind.ml: Fmt Hashtbl List Lock_id Lockset Printf Raceguard_util Raceguard_vm Report Segments

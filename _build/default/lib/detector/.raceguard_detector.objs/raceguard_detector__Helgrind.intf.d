@@ -1,0 +1,1 @@
+lib/detector/helgrind.mli: Format Raceguard_vm Report Suppression

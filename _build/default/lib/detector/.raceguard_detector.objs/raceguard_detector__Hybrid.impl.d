@@ -1,0 +1,1 @@
+lib/detector/hybrid.ml: Djit Helgrind Raceguard_vm Report

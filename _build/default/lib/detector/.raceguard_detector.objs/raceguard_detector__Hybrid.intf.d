@@ -1,0 +1,1 @@
+lib/detector/hybrid.mli: Helgrind Raceguard_vm Report Suppression

@@ -1,0 +1,1 @@
+lib/detector/lock_id.ml: Fmt Raceguard_vm

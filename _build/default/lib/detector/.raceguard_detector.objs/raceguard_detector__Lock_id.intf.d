@@ -1,0 +1,1 @@
+lib/detector/lock_id.mli: Format Raceguard_vm

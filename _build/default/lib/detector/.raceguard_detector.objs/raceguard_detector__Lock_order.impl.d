@@ -1,0 +1,1 @@
+lib/detector/lock_order.ml: Fmt Hashtbl List Lock_id Printf Raceguard_util Raceguard_vm Report

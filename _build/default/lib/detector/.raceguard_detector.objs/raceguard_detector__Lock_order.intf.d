@@ -1,0 +1,1 @@
+lib/detector/lock_order.mli: Raceguard_vm Report Suppression

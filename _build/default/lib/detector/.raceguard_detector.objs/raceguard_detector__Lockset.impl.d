@@ -1,0 +1,1 @@
+lib/detector/lockset.ml: Fmt Lock_id Raceguard_util

@@ -1,0 +1,1 @@
+lib/detector/lockset.mli: Format Raceguard_util

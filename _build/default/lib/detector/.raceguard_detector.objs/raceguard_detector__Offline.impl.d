@@ -1,0 +1,1 @@
+lib/detector/offline.ml: List Raceguard_util Raceguard_vm String

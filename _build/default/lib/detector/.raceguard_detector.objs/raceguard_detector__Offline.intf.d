@@ -1,0 +1,1 @@
+lib/detector/offline.mli: Raceguard_vm

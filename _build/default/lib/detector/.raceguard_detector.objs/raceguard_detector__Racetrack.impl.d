@@ -1,0 +1,1 @@
+lib/detector/racetrack.ml: Fmt Hashtbl Hb_clocks Helgrind List Lock_id Lockset Printf Raceguard_vm Report

@@ -1,0 +1,1 @@
+lib/detector/racetrack.mli: Hb_clocks Helgrind Raceguard_vm Report Suppression

@@ -1,0 +1,1 @@
+lib/detector/report.ml: Fmt List Map Raceguard_util Suppression

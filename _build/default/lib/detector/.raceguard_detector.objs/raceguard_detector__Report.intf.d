@@ -1,0 +1,1 @@
+lib/detector/report.mli: Format Raceguard_util Suppression

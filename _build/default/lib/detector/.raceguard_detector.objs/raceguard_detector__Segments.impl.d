@@ -1,0 +1,1 @@
+lib/detector/segments.ml: Hashtbl List Raceguard_util

@@ -1,0 +1,1 @@
+lib/detector/suppression.ml: Buffer List Printf Raceguard_util String

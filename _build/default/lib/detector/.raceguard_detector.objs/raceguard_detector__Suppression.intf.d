@@ -1,0 +1,1 @@
+lib/detector/suppression.mli: Raceguard_util

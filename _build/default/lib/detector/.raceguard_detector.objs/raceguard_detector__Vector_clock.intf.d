@@ -1,0 +1,1 @@
+lib/detector/vector_clock.mli: Format

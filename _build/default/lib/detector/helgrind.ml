@@ -1,0 +1,352 @@
+(** The Helgrind-style lock-set race detector.
+
+    Implements the Eraser algorithm with the per-location state machine
+    of Figure 1 (New / Exclusive / Shared-RO / Shared-Modified), the
+    VisualThreads thread-segment refinement (Figure 2), and the two
+    improvements contributed by the paper:
+
+    - {b HWLC} ([bus_model = Rw_lock]): the x86 bus lock is modelled as
+      a read-write lock implicitly held for reading by {e every} read
+      access and held for writing by [LOCK]-prefixed writes, instead of
+      the original plain mutex held only around [LOCK]-prefixed
+      instructions.  This removes the spurious reports on bus-locked
+      reference counters (Figures 8/9) while still flagging plain
+      writes that race with them.  Supporting it required read-write
+      lock-sets (reads check locks held in {e any} mode, writes check
+      locks held in {e write} mode), which also gives POSIX rw-lock
+      support ([track_rwlocks]) "for free", as the paper notes.
+
+    - {b DR} ([destructor_annotations]): honour the
+      [VALGRIND_HG_DESTRUCT] client request emitted by annotated
+      [delete] operators (Figure 4): the object's memory becomes
+      exclusively owned by the deleting thread's current segment, so
+      the vptr writes performed by the destructor chain of a derived
+      class no longer look like unsynchronised writes to shared memory
+      — while a genuine access by another thread during destruction is
+      still detected.
+
+    Setting [eraser_states = false] disables the state machine and
+    runs the naive textbook Eraser (lock-set refined from the very
+    first access, warnings whenever it empties) — the configuration the
+    paper calls "too many false positives" for initialisation and
+    read-shared data. *)
+
+module Loc = Raceguard_util.Loc
+module Vm = Raceguard_vm
+open Vm.Event
+
+type bus_model =
+  | Locked_mutex  (** original Helgrind: a mutex around LOCK-prefixed ops *)
+  | Rw_lock  (** the paper's corrected model *)
+
+type config = {
+  bus_model : bus_model;
+  destructor_annotations : bool;
+  thread_segments : bool;
+  track_rwlocks : bool;
+      (** understand POSIX rw-lock events; the original Helgrind did not *)
+  eraser_states : bool;  (** Figure 1 state machine (vs. pure Eraser) *)
+  report_reads : bool;  (** also report reads with empty lock-set *)
+  hb_annotations : bool;
+      (** honour HAPPENS_BEFORE/AFTER client requests: the paper's §5
+          future work ("higher level constructs for synchronization
+          that the lock-set algorithm is unaware of"), implemented as
+          annotation-induced thread-segment edges *)
+}
+
+(** The three configurations evaluated in Figures 5/6. *)
+let original =
+  {
+    bus_model = Locked_mutex;
+    destructor_annotations = false;
+    thread_segments = true;
+    track_rwlocks = false;
+    eraser_states = true;
+    report_reads = true;
+    hb_annotations = false;
+  }
+
+let hwlc = { original with bus_model = Rw_lock; track_rwlocks = true }
+let hwlc_dr = { hwlc with destructor_annotations = true }
+
+(** The §5 extension on top of the paper's final configuration. *)
+let hwlc_dr_hb = { hwlc_dr with hb_annotations = true }
+
+(** Ablation: Eraser without the state machine. *)
+let pure_eraser = { original with eraser_states = false }
+
+let pp_config_name ppf c =
+  let base =
+    match (c.bus_model, c.destructor_annotations) with
+    | Locked_mutex, false -> "Original"
+    | Locked_mutex, true -> "Original+DR"
+    | Rw_lock, false -> "HWLC"
+    | Rw_lock, true -> "HWLC+DR"
+  in
+  let base = if c.eraser_states then base else base ^ "(pure)" in
+  let base = if c.thread_segments then base else base ^ "-noTS" in
+  let base = if c.hb_annotations then base ^ "+HB" else base in
+  Fmt.string ppf base
+
+(* ------------------------------------------------------------------ *)
+(* Shadow state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type owner = { o_tid : int; o_seg : Segments.seg }
+
+type state =
+  | Virgin
+  | Exclusive of owner
+  | Shared_ro of Lockset.t
+  | Shared_mod of Lockset.t
+
+let pp_state ~name_of ppf = function
+  | Virgin -> Fmt.string ppf "virgin"
+  | Exclusive o -> Fmt.pf ppf "exclusive (thread %d)" o.o_tid
+  | Shared_ro ls -> Fmt.pf ppf "shared RO, %a" (Lockset.pp ~name_of) ls
+  | Shared_mod ls -> Fmt.pf ppf "shared modified, %a" (Lockset.pp ~name_of) ls
+
+type thread_locks = { mutable held_any : int list; mutable held_write : int list }
+(** uids currently held, by mode (unsorted association-free lists;
+    locks are few) *)
+
+type t = {
+  config : config;
+  shadow : (int, state ref) Hashtbl.t;  (** word address -> state *)
+  locks : (int, thread_locks) Hashtbl.t;  (** tid -> held locks *)
+  segments : Segments.t;
+  lock_names : (int, string) Hashtbl.t;  (** uid -> name *)
+  collector : Report.collector;
+  mutable benign : (int * int) list;
+  mutable accesses_checked : int;
+  mutable warning_filter : (tid:int -> addr:int -> kind:Report.kind -> bool) option;
+      (** when set, a warning is only recorded if the filter agrees —
+          the composition hook used by the {!Hybrid} detector *)
+}
+
+let create ?(suppressions = []) config =
+  {
+    config;
+    shadow = Hashtbl.create 65536;
+    locks = Hashtbl.create 64;
+    segments = Segments.create ();
+    lock_names = Hashtbl.create 64;
+    collector = Report.collector ~suppressions ();
+    benign = [];
+    accesses_checked = 0;
+    warning_filter = None;
+  }
+
+let set_warning_filter t f = t.warning_filter <- Some f
+
+let reports t = Report.occurrences t.collector
+let locations t = Report.locations t.collector
+let location_count t = Report.location_count t.collector
+let collector t = t.collector
+let accesses_checked t = t.accesses_checked
+
+let name_of t uid =
+  match Hashtbl.find_opt t.lock_names uid with
+  | Some n -> Printf.sprintf "%S" n
+  | None -> Printf.sprintf "lock#%d" uid
+
+let thread_locks t tid =
+  match Hashtbl.find_opt t.locks tid with
+  | Some l -> l
+  | None ->
+      let l = { held_any = []; held_write = [] } in
+      Hashtbl.replace t.locks tid l;
+      l
+
+let cell t addr =
+  match Hashtbl.find_opt t.shadow addr with
+  | Some c -> c
+  | None ->
+      let c = ref Virgin in
+      Hashtbl.replace t.shadow addr c;
+      c
+
+let is_benign t addr = List.exists (fun (base, len) -> addr >= base && addr < base + len) t.benign
+
+(* Effective lock-sets for one access, including the virtual bus lock
+   according to the configured model. *)
+let effective_sets t tid ~atomic =
+  let l = thread_locks t tid in
+  let with_bus cond set = if cond then Lock_id.bus :: set else set in
+  let any =
+    match t.config.bus_model with
+    | Rw_lock ->
+        (* every read access implicitly holds the bus lock in read
+           mode; LOCK-prefixed accesses hold it too *)
+        with_bus true l.held_any
+    | Locked_mutex -> with_bus atomic l.held_any
+  in
+  let write = with_bus atomic l.held_write in
+  (Lockset.of_list any, Lockset.of_list write)
+
+(* ------------------------------------------------------------------ *)
+(* The per-access state machine                                        *)
+(* ------------------------------------------------------------------ *)
+
+type access = Read | Write
+
+let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc ~prev_state =
+  let block =
+    match ctx.block_of addr with
+    | Some (b : Vm.Memory.block) ->
+        Some
+          {
+            Report.b_base = b.base;
+            b_len = b.len;
+            b_alloc_tid = b.alloc_tid;
+            b_alloc_stack = b.alloc_stack;
+          }
+    | None -> None
+  in
+  let stack = loc :: ctx.stack_of tid in
+  Report.add t.collector
+    {
+      Report.kind;
+      addr;
+      tid;
+      thread_name = ctx.thread_name tid;
+      stack;
+      detail = Fmt.str "Previous state: %a" (pp_state ~name_of:(name_of t)) prev_state;
+      block;
+      clock = ctx.clock ();
+    }
+
+let check_access t ctx ~access ~tid ~addr ~atomic ~loc =
+  t.accesses_checked <- t.accesses_checked + 1;
+  let c = cell t addr in
+  let prev = !c in
+  let any_set, write_set = effective_sets t tid ~atomic in
+  let seg = Segments.seg_of t.segments tid in
+  let warn kind ls =
+    if
+      Lockset.is_empty ls
+      && (not (is_benign t addr))
+      && (match t.warning_filter with None -> true | Some f -> f ~tid ~addr ~kind)
+    then report t ctx ~kind ~tid ~addr ~loc ~prev_state:prev
+  in
+  if not t.config.eraser_states then begin
+    (* pure Eraser: C(v) starts at Top and is refined by every access *)
+    let ls_prev = match prev with Shared_mod ls -> ls | _ -> Lockset.top in
+    let ls =
+      match access with
+      | Read -> Lockset.inter ls_prev any_set
+      | Write -> Lockset.inter ls_prev write_set
+    in
+    (match access with
+    | Read -> warn Report.Race_read ls
+    | Write -> warn Report.Race_write ls);
+    c := Shared_mod ls
+  end
+  else
+    match prev with
+    | Virgin -> c := Exclusive { o_tid = tid; o_seg = seg }
+    | Exclusive o ->
+        if o.o_tid = tid then c := Exclusive { o_tid = tid; o_seg = seg }
+        else if t.config.thread_segments && Segments.happens_before t.segments o.o_seg seg then
+          (* ownership passes to the later segment; stays exclusive *)
+          c := Exclusive { o_tid = tid; o_seg = seg }
+        else begin
+          (* second thread: initialise the candidate set with the locks
+             active at this access and start checking *)
+          match access with
+          | Read -> c := Shared_ro any_set
+          | Write ->
+              warn Report.Race_write write_set;
+              c := Shared_mod write_set
+        end
+    | Shared_ro ls -> (
+        match access with
+        | Read -> c := Shared_ro (Lockset.inter ls any_set)
+        | Write ->
+            let ls = Lockset.inter ls write_set in
+            warn Report.Race_write ls;
+            c := Shared_mod ls)
+    | Shared_mod ls -> (
+        match access with
+        | Read ->
+            let ls = Lockset.inter ls any_set in
+            if t.config.report_reads then warn Report.Race_read ls;
+            c := Shared_mod ls
+        | Write ->
+            let ls = Lockset.inter ls write_set in
+            warn Report.Race_write ls;
+            c := Shared_mod ls)
+
+(* ------------------------------------------------------------------ *)
+(* Event dispatch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let acquire t tid uid mode =
+  let l = thread_locks t tid in
+  l.held_any <- uid :: l.held_any;
+  match mode with
+  | Vm.Eff.Write_mode -> l.held_write <- uid :: l.held_write
+  | Vm.Eff.Read_mode -> ()
+
+let release t tid uid =
+  let remove_one xs =
+    let rec go = function [] -> [] | x :: rest -> if x = uid then rest else x :: go rest in
+    go xs
+  in
+  let l = thread_locks t tid in
+  l.held_any <- remove_one l.held_any;
+  l.held_write <- remove_one l.held_write
+
+let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
+  match e with
+  | E_thread_start { tid; parent; _ } -> Segments.on_thread_start t.segments ~tid ~parent
+  | E_thread_exit { tid } -> Segments.on_thread_exit t.segments ~tid
+  | E_join { joiner; joined; _ } -> Segments.on_join t.segments ~joiner ~joined
+  | E_spawn _ -> ()  (* segment split already done at thread_start *)
+  | E_read { tid; addr; atomic; loc; _ } ->
+      check_access t ctx ~access:Read ~tid ~addr ~atomic ~loc
+  | E_write { tid; addr; atomic; loc; _ } ->
+      check_access t ctx ~access:Write ~tid ~addr ~atomic ~loc
+  | E_alloc { addr; len; _ } ->
+      (* fresh (or recycled through malloc) memory starts life virgin *)
+      for a = addr to addr + len - 1 do
+        match Hashtbl.find_opt t.shadow a with Some c -> c := Virgin | None -> ()
+      done
+  | E_free _ -> ()
+  | E_sync_create { sync; name; _ } -> (
+      match Lock_id.of_sync_ref sync with
+      | Some uid -> Hashtbl.replace t.lock_names uid name
+      | None -> ())
+  | E_acquire { tid; lock; mode; _ } -> (
+      match lock with
+      | Mutex m -> acquire t tid (Lock_id.of_mutex m) Vm.Eff.Write_mode
+      | Rwlock rw -> if t.config.track_rwlocks then acquire t tid (Lock_id.of_rwlock rw) mode
+      | Cond _ | Sem _ -> ())
+  | E_release { tid; lock; _ } -> (
+      match lock with
+      | Mutex m -> release t tid (Lock_id.of_mutex m)
+      | Rwlock rw -> if t.config.track_rwlocks then release t tid (Lock_id.of_rwlock rw)
+      | Cond _ | Sem _ -> ())
+  | E_cond_signal _ | E_cond_wait_pre _ | E_cond_wait_post _ | E_sem_post _ | E_sem_wait_post _
+    ->
+      ()  (* the lock-set algorithm is blind to these — §4.2.3 *)
+  | E_client { tid; req; _ } -> (
+      match req with
+      | Vm.Eff.Destruct { addr; len } ->
+          if t.config.destructor_annotations then begin
+            (* the object is about to be destroyed: it becomes
+               exclusively owned by the deleting thread's segment, so
+               destructor-chain writes stop looking like races while
+               genuine concurrent accesses still trigger a transition *)
+            let seg = Segments.seg_of t.segments tid in
+            for a = addr to addr + len - 1 do
+              (cell t a) := Exclusive { o_tid = tid; o_seg = seg }
+            done
+          end
+      | Vm.Eff.Benign_race { addr; len } -> t.benign <- (addr, len) :: t.benign
+      | Vm.Eff.Happens_before { tag } ->
+          if t.config.hb_annotations then Segments.on_happens_before t.segments ~tid ~tag
+      | Vm.Eff.Happens_after { tag } ->
+          if t.config.hb_annotations then Segments.on_happens_after t.segments ~tid ~tag)
+
+let tool t = Vm.Tool.make ~name:"helgrind" ~on_event:(on_event t)

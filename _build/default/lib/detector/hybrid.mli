@@ -1,0 +1,28 @@
+(** Hybrid lock-set × happens-before detection — the Multi-Race /
+    O'Callahan-Choi combination surveyed in §2.2.
+
+    A {!Helgrind} instance performs the lock-set analysis; each of its
+    candidate warnings is admitted only if a {!Djit} instance on the
+    same event stream confirms the access is concurrent with a previous
+    conflicting access.  Precision up; DJIT's schedule-dependence is
+    the price. *)
+
+type config = {
+  helgrind : Helgrind.config;
+  sync_on_cond : bool;  (** HB edges for condition variables *)
+  sync_on_sem : bool;  (** HB edges for semaphores *)
+}
+
+val default_config : config
+(** HWLC+DR lock-sets, all HB edge sources on. *)
+
+type t
+
+val create : ?config:config -> ?suppressions:Suppression.t list -> unit -> t
+val tool : t -> Raceguard_vm.Tool.t
+val on_event : t -> Raceguard_vm.Tool.ctx -> Raceguard_vm.Event.t -> unit
+
+val reports : t -> Report.t list
+val locations : t -> (Report.t * int) list
+val location_count : t -> int
+val collector : t -> Report.collector

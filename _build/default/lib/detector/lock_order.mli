@@ -1,0 +1,19 @@
+(** Predictive deadlock detection by lock-order analysis.
+
+    Records the order in which threads nest lock acquisitions; an
+    acquisition that closes a cycle in the order graph is reported as a
+    potential deadlock, even on runs where the timing happened to be
+    benign — the capability that makes the application's home-grown
+    timeout detector (§3.3/§4.1) unnecessary. *)
+
+type t
+
+val create : ?suppressions:Suppression.t list -> unit -> t
+val tool : t -> Raceguard_vm.Tool.t
+
+val reports : t -> Report.t list
+val locations : t -> (Report.t * int) list
+(** One report per unordered lock pair (deduplicated). *)
+
+val location_count : t -> int
+val collector : t -> Report.collector

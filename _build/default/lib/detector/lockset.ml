@@ -1,0 +1,41 @@
+(** Lock-sets: the candidate sets C(v) of the Eraser algorithm.
+
+    [Top] is the initial "set of all locks" — intersecting anything
+    with it yields the other operand, so we never need to materialise
+    the universe. *)
+
+module Iss = Raceguard_util.Int_sorted_set
+
+type t = Top | Set of Iss.t
+
+let top = Top
+let empty = Set Iss.empty
+let of_list l = Set (Iss.of_list l)
+
+let is_empty = function Top -> false | Set s -> Iss.is_empty s
+
+let inter a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Set a, Set b -> Set (Iss.inter a b)
+
+let mem x = function Top -> true | Set s -> Iss.mem x s
+
+let equal a b =
+  match (a, b) with
+  | Top, Top -> true
+  | Set a, Set b -> Iss.equal a b
+  | Top, Set _ | Set _, Top -> false
+
+let cardinal = function Top -> max_int | Set s -> Iss.cardinal s
+
+let to_list = function Top -> None | Set s -> Some (Iss.to_list s)
+
+let pp ~name_of ppf = function
+  | Top -> Fmt.string ppf "<all locks>"
+  | Set s ->
+      if Iss.is_empty s then Fmt.string ppf "no locks"
+      else
+        Fmt.pf ppf "{%a}"
+          Fmt.(list ~sep:(any ", ") (fun ppf uid -> Lock_id.pp ~name_of ppf uid))
+          (Iss.to_list s)

@@ -1,0 +1,22 @@
+(** Lock-sets: the candidate sets C(v) of the Eraser algorithm.
+
+    [top] is the initial "set of all locks"; intersection with it
+    yields the other operand, so the universe is never materialised. *)
+
+type t = Top | Set of Raceguard_util.Int_sorted_set.t
+
+val top : t
+val empty : t
+val of_list : int list -> t
+
+val is_empty : t -> bool
+(** [Top] is not empty. *)
+
+val inter : t -> t -> t
+val mem : int -> t -> bool
+val equal : t -> t -> bool
+val cardinal : t -> int
+val to_list : t -> int list option
+(** [None] for [Top]. *)
+
+val pp : name_of:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+(** Post-mortem (offline) analysis — §2.2 / §4.5.
+
+    "Principally, on-the-fly checkers can work post mortem and hence
+    reduce the performance impact due to the online calculations.  But
+    they still need logging of the execution trace.  Hence, offline
+    techniques suffer from their need for large amounts of data."
+
+    A {!recorder} is a VM tool that logs every event {e together with}
+    the introspection data a detector would have queried live (call
+    stack, heap block, clock).  {!replay} then feeds any detector tool
+    the recorded stream through a synthetic context.  The recorder's
+    [footprint_words] makes the space cost measurable — the trade-off
+    experiment of §4.5. *)
+
+module Vm = Raceguard_vm
+module Loc = Raceguard_util.Loc
+module Growvec = Raceguard_util.Growvec
+
+type entry = {
+  event : Vm.Event.t;
+  stack : Loc.t list;
+  thread_name : string;
+  block : Vm.Memory.block option;
+  clock : int;
+}
+
+type recorder = { entries : entry Growvec.t }
+
+let dummy_entry =
+  {
+    event = Vm.Event.E_thread_exit { tid = -1 };
+    stack = [];
+    thread_name = "";
+    block = None;
+    clock = 0;
+  }
+
+let create_recorder () = { entries = Growvec.create ~dummy:dummy_entry }
+
+let tool r =
+  Vm.Tool.make ~name:"trace-recorder" ~on_event:(fun (ctx : Vm.Tool.ctx) event ->
+      let tid = Vm.Event.tid event in
+      ignore
+        (Growvec.push r.entries
+           {
+             event;
+             stack = ctx.stack_of tid;
+             thread_name = ctx.thread_name tid;
+             block =
+               (match event with
+               | Vm.Event.E_read { addr; _ } | Vm.Event.E_write { addr; _ } -> ctx.block_of addr
+               | _ -> None);
+             clock = ctx.clock ();
+           }))
+
+let length r = Growvec.length r.entries
+
+(** Rough space cost of the log, in words — the paper's "heavy memory
+    usage" of offline analysis, made concrete. *)
+let footprint_words r =
+  Growvec.fold
+    (fun acc e ->
+      (* event record + stack spine + block pointer + name *)
+      acc + 8 + (4 * List.length e.stack) + (String.length e.thread_name / 8))
+    0 r.entries
+
+(** Feed a recorded trace through a tool, post mortem. *)
+let replay r (tool : Vm.Tool.t) =
+  Growvec.iter
+    (fun e ->
+      let ctx : Vm.Tool.ctx =
+        {
+          stack_of = (fun _ -> e.stack);
+          thread_name = (fun _ -> e.thread_name);
+          block_of = (fun _ -> e.block);
+          clock = (fun () -> e.clock);
+        }
+      in
+      tool.Vm.Tool.on_event ctx e.event)
+    r.entries

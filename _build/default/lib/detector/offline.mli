@@ -1,0 +1,27 @@
+(** Post-mortem (offline) analysis — the §2.2 / §4.5 trade-off.
+
+    A {!recorder} logs every event together with the introspection data
+    a detector would query live (stacks, blocks, clock); {!replay}
+    feeds any tool the recorded stream afterwards.  Replaying a
+    detector over a recorded trace reproduces its online reports
+    exactly (asserted in the test suite); the log's measured
+    {!footprint_words} is the "large amounts of data" cost the paper
+    attributes to offline techniques. *)
+
+module Vm = Raceguard_vm
+
+type recorder
+
+val create_recorder : unit -> recorder
+
+val tool : recorder -> Vm.Tool.t
+(** Attach to the VM to capture the run. *)
+
+val length : recorder -> int
+(** Events recorded. *)
+
+val footprint_words : recorder -> int
+(** Rough space cost of the log, in words. *)
+
+val replay : recorder -> Vm.Tool.t -> unit
+(** Feed the recorded trace through a tool, post mortem. *)

@@ -1,0 +1,203 @@
+(** RaceTrack-style adaptive detection — the paper's citation [16]
+    (Yu, Rodeheffer & Chen, "RaceTrack: efficient detection of data
+    race conditions via adaptive tracking", SOSP 2005).
+
+    Per memory location the detector keeps a {e threadset}: the set of
+    (thread, clock) stamps of accesses not yet ordered-before the
+    current access by the happens-before relation.  On each access the
+    set is pruned with vector clocks; while it holds at most one thread
+    the location is effectively exclusive and the candidate lock-set
+    stays at ⊤, so initialisation, read-sharing {e and ownership
+    transfer through any synchronisation} (including the queue handoffs
+    of §4.2.3 — via lock edges and, configurably, cond/sem edges) are
+    accepted without annotations.  Only while the threadset is
+    genuinely concurrent does lock-set refinement and checking run.
+
+    The trade-off mirrors the paper's §2.2 discussion: RaceTrack
+    removes the lock-set algorithm's residual false positives at the
+    price of the happens-before family's schedule dependence. *)
+
+module Vm = Raceguard_vm
+open Vm.Event
+
+type config = {
+  hb : Hb_clocks.config;
+  bus_model : Helgrind.bus_model;  (** same semantics as in {!Helgrind} *)
+  report_reads : bool;
+}
+
+let default_config =
+  { hb = Hb_clocks.default_config; bus_model = Helgrind.Rw_lock; report_reads = true }
+
+type cell = {
+  mutable lockset : Lockset.t;
+  mutable threadset : (int * int) list;  (** (tid, clock) stamps *)
+}
+
+type thread_locks = { mutable held_any : int list; mutable held_write : int list }
+
+type t = {
+  config : config;
+  clocks : Hb_clocks.t;
+  shadow : (int, cell) Hashtbl.t;
+  locks : (int, thread_locks) Hashtbl.t;
+  lock_names : (int, string) Hashtbl.t;
+  collector : Report.collector;
+  mutable benign : (int * int) list;
+}
+
+let create ?(config = default_config) ?(suppressions = []) () =
+  {
+    config;
+    clocks = Hb_clocks.create ~config:config.hb ();
+    shadow = Hashtbl.create 65536;
+    locks = Hashtbl.create 64;
+    lock_names = Hashtbl.create 64;
+    collector = Report.collector ~suppressions ();
+    benign = [];
+  }
+
+let reports t = Report.occurrences t.collector
+let locations t = Report.locations t.collector
+let location_count t = Report.location_count t.collector
+let collector t = t.collector
+
+let thread_locks t tid =
+  match Hashtbl.find_opt t.locks tid with
+  | Some l -> l
+  | None ->
+      let l = { held_any = []; held_write = [] } in
+      Hashtbl.replace t.locks tid l;
+      l
+
+let cell t addr =
+  match Hashtbl.find_opt t.shadow addr with
+  | Some c -> c
+  | None ->
+      let c = { lockset = Lockset.top; threadset = [] } in
+      Hashtbl.replace t.shadow addr c;
+      c
+
+let is_benign t addr = List.exists (fun (b, l) -> addr >= b && addr < b + l) t.benign
+
+let effective_sets t tid ~atomic =
+  let l = thread_locks t tid in
+  let with_bus cond set = if cond then Lock_id.bus :: set else set in
+  let any =
+    match t.config.bus_model with
+    | Helgrind.Rw_lock -> with_bus true l.held_any
+    | Helgrind.Locked_mutex -> with_bus atomic l.held_any
+  in
+  let write = with_bus atomic l.held_write in
+  (Lockset.of_list any, Lockset.of_list write)
+
+let name_of t uid =
+  match Hashtbl.find_opt t.lock_names uid with
+  | Some n -> Printf.sprintf "%S" n
+  | None -> Printf.sprintf "lock#%d" uid
+
+let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc (c : cell) =
+  let block =
+    match ctx.block_of addr with
+    | Some (b : Vm.Memory.block) ->
+        Some
+          { Report.b_base = b.base; b_len = b.len; b_alloc_tid = b.alloc_tid; b_alloc_stack = b.alloc_stack }
+    | None -> None
+  in
+  Report.add t.collector
+    {
+      Report.kind;
+      addr;
+      tid;
+      thread_name = ctx.thread_name tid;
+      stack = loc :: ctx.stack_of tid;
+      detail =
+        Fmt.str "Threadset of %d concurrent thread(s); candidate set %a"
+          (List.length c.threadset)
+          (Lockset.pp ~name_of:(name_of t))
+          c.lockset;
+      block;
+      clock = ctx.clock ();
+    }
+
+type access = Read | Write
+
+let check_access t ctx ~access ~tid ~addr ~atomic ~loc =
+  let c = cell t addr in
+  (* prune stamps that happen-before this access *)
+  c.threadset <-
+    List.filter
+      (fun (u, clk) -> not (Hb_clocks.ordered_before t.clocks ~tid:u ~clk ~now:tid))
+      c.threadset;
+  c.threadset <-
+    (tid, Hb_clocks.clock_of t.clocks tid) :: List.remove_assoc tid c.threadset;
+  if List.length c.threadset <= 1 then
+    (* effectively exclusive again: adaptive reset *)
+    c.lockset <- Lockset.top
+  else begin
+    let any_set, write_set = effective_sets t tid ~atomic in
+    let ls =
+      match access with
+      | Read -> Lockset.inter c.lockset any_set
+      | Write -> Lockset.inter c.lockset write_set
+    in
+    c.lockset <- ls;
+    if Lockset.is_empty ls && not (is_benign t addr) then
+      match access with
+      | Write -> report t ctx ~kind:Report.Race_write ~tid ~addr ~loc c
+      | Read -> if t.config.report_reads then report t ctx ~kind:Report.Race_read ~tid ~addr ~loc c
+  end
+
+let acquire t tid uid mode =
+  let l = thread_locks t tid in
+  l.held_any <- uid :: l.held_any;
+  match mode with
+  | Vm.Eff.Write_mode -> l.held_write <- uid :: l.held_write
+  | Vm.Eff.Read_mode -> ()
+
+let release t tid uid =
+  let remove_one xs =
+    let rec go = function [] -> [] | x :: rest -> if x = uid then rest else x :: go rest in
+    go xs
+  in
+  let l = thread_locks t tid in
+  l.held_any <- remove_one l.held_any;
+  l.held_write <- remove_one l.held_write
+
+let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
+  (* clocks first: an acquire's edge must be visible to the accesses
+     that follow it, and the access pruning below reads them *)
+  Hb_clocks.on_event t.clocks e;
+  match e with
+  | E_read { tid; addr; atomic; loc; _ } -> check_access t ctx ~access:Read ~tid ~addr ~atomic ~loc
+  | E_write { tid; addr; atomic; loc; _ } ->
+      check_access t ctx ~access:Write ~tid ~addr ~atomic ~loc
+  | E_alloc { addr; len; _ } ->
+      for a = addr to addr + len - 1 do
+        match Hashtbl.find_opt t.shadow a with
+        | Some c ->
+            c.lockset <- Lockset.top;
+            c.threadset <- []
+        | None -> ()
+      done
+  | E_sync_create { sync; name; _ } -> (
+      match Lock_id.of_sync_ref sync with
+      | Some uid -> Hashtbl.replace t.lock_names uid name
+      | None -> ())
+  | E_acquire { tid; lock; mode; _ } -> (
+      match lock with
+      | Mutex m -> acquire t tid (Lock_id.of_mutex m) Vm.Eff.Write_mode
+      | Rwlock rw -> acquire t tid (Lock_id.of_rwlock rw) mode
+      | Cond _ | Sem _ -> ())
+  | E_release { tid; lock; _ } -> (
+      match lock with
+      | Mutex m -> release t tid (Lock_id.of_mutex m)
+      | Rwlock rw -> release t tid (Lock_id.of_rwlock rw)
+      | Cond _ | Sem _ -> ())
+  | E_client { req = Vm.Eff.Benign_race { addr; len }; _ } ->
+      t.benign <- (addr, len) :: t.benign
+  | E_thread_start _ | E_thread_exit _ | E_spawn _ | E_join _ | E_free _ | E_cond_signal _
+  | E_cond_wait_pre _ | E_cond_wait_post _ | E_sem_post _ | E_sem_wait_post _ | E_client _ ->
+      ()
+
+let tool t = Vm.Tool.make ~name:"racetrack" ~on_event:(on_event t)

@@ -1,0 +1,113 @@
+(** Race/deadlock reports and the de-duplicating collector.
+
+    Valgrind de-duplicates errors by their call-stack signature; the
+    paper counts "reported possible data race {e locations}" (Figure 6),
+    i.e. distinct signatures, not individual dynamic occurrences.  The
+    collector keeps both: every occurrence, and the deduplicated
+    location list with occurrence counts. *)
+
+module Loc = Raceguard_util.Loc
+
+type kind =
+  | Race_write  (** write with empty candidate lock-set *)
+  | Race_read  (** read with empty candidate lock-set in Shared-Modified *)
+  | Lock_order  (** lock acquisition order inverts an earlier order *)
+
+let pp_kind ppf = function
+  | Race_write -> Fmt.string ppf "Possible data race writing variable"
+  | Race_read -> Fmt.string ppf "Possible data race reading variable"
+  | Lock_order -> Fmt.string ppf "Lock order violation (potential deadlock)"
+
+type block_info = {
+  b_base : int;
+  b_len : int;
+  b_alloc_tid : int;
+  b_alloc_stack : Loc.t list;
+}
+
+type t = {
+  kind : kind;
+  addr : int;
+  tid : int;
+  thread_name : string;
+  stack : Loc.t list;  (** innermost frame first *)
+  detail : string;  (** e.g. "Previous state: shared RO, no locks" *)
+  block : block_info option;
+  clock : int;
+}
+
+(* --- signatures ---------------------------------------------------- *)
+
+(** Number of stack frames participating in the dedup signature
+    (Valgrind's default is the top 4). *)
+let signature_depth = 4
+
+let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+
+type signature = kind * Loc.t list
+
+let signature r : signature = (r.kind, take signature_depth r.stack)
+
+(* --- rendering ----------------------------------------------------- *)
+
+let pp_stack ppf stack =
+  List.iteri
+    (fun i loc -> Fmt.pf ppf "   %s %a@\n" (if i = 0 then "at" else "by") Loc.pp loc)
+    stack
+
+let pp ppf r =
+  Fmt.pf ppf "%a at %#x@\n" pp_kind r.kind r.addr;
+  pp_stack ppf r.stack;
+  (match r.block with
+  | Some b ->
+      Fmt.pf ppf " Address %#x is %d words inside a block of size %d alloc'd by thread %d@\n"
+        r.addr (r.addr - b.b_base) b.b_len b.b_alloc_tid;
+      pp_stack ppf (take signature_depth b.b_alloc_stack)
+  | None -> ());
+  if r.detail <> "" then Fmt.pf ppf " %s@\n" r.detail
+
+(* --- collector ------------------------------------------------------ *)
+
+module Sig_map = Map.Make (struct
+  type t = signature
+
+  let compare (k1, s1) (k2, s2) =
+    let c = compare k1 k2 in
+    if c <> 0 then c else List.compare Loc.compare s1 s2
+end)
+
+type collector = {
+  mutable all : t list;  (** reverse chronological *)
+  mutable by_sig : (t * int) Sig_map.t;  (** first occurrence, count *)
+  mutable suppressed : int;
+  mutable suppressions : Suppression.t list;
+}
+
+let collector ?(suppressions = []) () =
+  { all = []; by_sig = Sig_map.empty; suppressed = 0; suppressions }
+
+let add c r =
+  if List.exists (fun s -> Suppression.matches s ~kind:(Fmt.str "%a" pp_kind r.kind) ~stack:r.stack) c.suppressions
+  then c.suppressed <- c.suppressed + 1
+  else begin
+    c.all <- r :: c.all;
+    let s = signature r in
+    c.by_sig <-
+      Sig_map.update s
+        (function None -> Some (r, 1) | Some (first, n) -> Some (first, n + 1))
+        c.by_sig
+  end
+
+(** All occurrences, in chronological order. *)
+let occurrences c = List.rev c.all
+
+(** Distinct reported locations (the Figure 6 metric), with occurrence
+    counts, ordered by first occurrence. *)
+let locations c =
+  Sig_map.bindings c.by_sig
+  |> List.map (fun (_, (r, n)) -> (r, n))
+  |> List.sort (fun (a, _) (b, _) -> compare a.clock b.clock)
+
+let location_count c = Sig_map.cardinal c.by_sig
+let occurrence_count c = List.length c.all
+let suppressed_count c = c.suppressed

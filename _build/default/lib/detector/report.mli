@@ -1,0 +1,62 @@
+(** Race/deadlock reports and the de-duplicating collector.
+
+    Valgrind de-duplicates errors by call-stack signature; the paper
+    counts "reported possible data race {e locations}" (Figure 6), i.e.
+    distinct signatures.  The collector keeps both every occurrence and
+    the deduplicated location list. *)
+
+module Loc = Raceguard_util.Loc
+
+type kind =
+  | Race_write  (** write with empty candidate lock-set *)
+  | Race_read  (** read with empty candidate lock-set (Shared-Modified) *)
+  | Lock_order  (** lock acquisition inverts an established order *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type block_info = {
+  b_base : int;
+  b_len : int;
+  b_alloc_tid : int;
+  b_alloc_stack : Loc.t list;
+}
+
+type t = {
+  kind : kind;
+  addr : int;
+  tid : int;
+  thread_name : string;
+  stack : Loc.t list;  (** innermost frame first *)
+  detail : string;  (** e.g. ["Previous state: shared RO, no locks"] *)
+  block : block_info option;  (** the Figure-9 allocation footer *)
+  clock : int;
+}
+
+val signature_depth : int
+(** Stack frames participating in the dedup signature (Valgrind uses
+    the top 4). *)
+
+type signature = kind * Loc.t list
+
+val signature : t -> signature
+
+val pp : Format.formatter -> t -> unit
+(** Valgrind-style rendering: headline, "at/by" stack, allocation
+    footer, previous-state line. *)
+
+(** {1 Collector} *)
+
+type collector
+
+val collector : ?suppressions:Suppression.t list -> unit -> collector
+
+val add : collector -> t -> unit
+(** Record an occurrence (dropped if a suppression matches). *)
+
+val occurrences : collector -> t list
+val locations : collector -> (t * int) list
+(** Distinct locations with occurrence counts, by first occurrence. *)
+
+val location_count : collector -> int
+val occurrence_count : collector -> int
+val suppressed_count : collector -> int

@@ -1,0 +1,44 @@
+(** Thread segments and their happens-before graph (Figure 2).
+
+    A thread's execution is cut into segments at thread-create and
+    thread-join operations (and, with the §5 extension, at
+    happens-before annotations).  Memory touched only by totally
+    ordered segments is still exclusively owned even if the touching
+    threads differ — the VisualThreads refinement. *)
+
+type seg = int
+
+type t
+
+val create : unit -> t
+
+val seg_of : t -> int -> seg
+(** The thread's current (active) segment. *)
+
+val on_thread_start : t -> tid:int -> parent:int option -> unit
+(** Split the parent's segment: parent continues in a fresh segment,
+    the child starts in another, both descending from the segment
+    before the create. *)
+
+val on_thread_exit : t -> tid:int -> unit
+
+val on_join : t -> joiner:int -> joined:int -> unit
+(** The joiner continues in a fresh segment descending from both its
+    own past and the joined thread's final segment. *)
+
+val on_happens_before : t -> tid:int -> tag:int -> unit
+(** [ANNOTATE_HAPPENS_BEFORE]: remember the thread's segment under
+    [tag] and move the thread to a fresh segment (sender half of a
+    create-style edge). *)
+
+val on_happens_after : t -> tid:int -> tag:int -> unit
+(** [ANNOTATE_HAPPENS_AFTER]: the thread's next segment descends from
+    both its own past and the segment recorded under [tag]; a no-op if
+    no matching BEFORE was seen. *)
+
+val happens_before : t -> seg -> seg -> bool
+(** Reachability in the segment DAG (reflexive).  Memoised; queries are
+    cheap after warm-up. *)
+
+val count : t -> int
+(** Number of segments created so far. *)

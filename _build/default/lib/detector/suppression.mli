@@ -1,0 +1,41 @@
+(** Suppression files: silence known-benign or unfixable report sites,
+    as in Valgrind (§2.3.1).
+
+    File format — one entry per block:
+
+    {v
+    {
+      name-of-suppression
+      kind: Possible data race*
+      frame: std::string::*
+      frame: *
+    }
+    v}
+
+    [kind:] matches the report headline, each [frame:] line matches one
+    stack frame (formatted ["func (file:line)"]) from the top;
+    [*] is a wildcard over any substring. *)
+
+type t
+
+val make : name:string -> kind_pattern:string -> frame_patterns:string list -> t
+
+val matches : t -> kind:string -> stack:Raceguard_util.Loc.t list -> bool
+
+val frame_to_string : Raceguard_util.Loc.t -> string
+
+val glob_match : string -> string -> bool
+(** [glob_match pattern s]: literal match with [*] wildcards. *)
+
+exception Parse_error of string
+
+val parse_string : string -> t list
+(** Parse a suppression file body; raises {!Parse_error}. *)
+
+val of_frames : name:string -> kind:string -> frames:Raceguard_util.Loc.t list -> t
+(** Build a suppression matching exactly one report location — what
+    [--gen-suppressions] prints for pasting into a file. *)
+
+val to_string : t -> string
+(** Render in the file format; [parse_string (to_string t)] yields an
+    equivalent suppression. *)

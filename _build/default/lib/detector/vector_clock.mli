@@ -1,0 +1,22 @@
+(** Vector clocks for happens-before detection (DJIT).  A clock maps
+    thread ids to logical timestamps; missing entries are 0. *)
+
+type t
+
+val create : unit -> t
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val incr : t -> int -> unit
+val copy : t -> t
+
+val join : t -> t -> unit
+(** [join a b] merges [b] into [a] (pointwise max). *)
+
+val leq : t -> t -> bool
+(** Pointwise ≤ — the happens-before test for full clocks. *)
+
+val ordered_before : tid:int -> clk:int -> t -> bool
+(** An access stamped (tid, clk) happened-before the state [vc] iff
+    [vc] has seen at least [clk] of thread [tid]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/minicc/annotate.ml: Ast List Option

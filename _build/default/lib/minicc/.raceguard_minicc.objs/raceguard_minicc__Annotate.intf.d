@@ -1,0 +1,1 @@
+lib/minicc/annotate.mli: Ast

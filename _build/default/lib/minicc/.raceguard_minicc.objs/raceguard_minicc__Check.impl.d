@@ -1,0 +1,1 @@
+lib/minicc/check.ml: Ast Fmt Hashtbl List Token

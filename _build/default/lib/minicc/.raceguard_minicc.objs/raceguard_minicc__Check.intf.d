@@ -1,0 +1,1 @@
+lib/minicc/check.mli: Ast Token

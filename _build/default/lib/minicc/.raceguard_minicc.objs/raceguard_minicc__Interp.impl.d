@@ -1,0 +1,1 @@
+lib/minicc/interp.ml: Annotate Array Ast Check Fmt Hashtbl List Preprocess Pretty Raceguard_util Raceguard_vm Token

@@ -1,0 +1,1 @@
+lib/minicc/interp.mli: Ast Preprocess Token

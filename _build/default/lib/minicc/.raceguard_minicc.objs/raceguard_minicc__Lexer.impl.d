@@ -1,0 +1,1 @@
+lib/minicc/lexer.ml: Buffer List Printf String Token

@@ -1,0 +1,1 @@
+lib/minicc/parser.ml: Ast Lexer List Printf Token

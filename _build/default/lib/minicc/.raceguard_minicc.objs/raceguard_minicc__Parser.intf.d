@@ -1,0 +1,1 @@
+lib/minicc/parser.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/minicc/preprocess.ml: Hashtbl Lexer List Parser String Token

@@ -1,0 +1,1 @@
+lib/minicc/preprocess.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/minicc/pretty.ml: Ast Buffer Fmt List Printf String

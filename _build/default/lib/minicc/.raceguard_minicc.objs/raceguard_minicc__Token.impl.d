@@ -1,0 +1,1 @@
+lib/minicc/token.ml: Fmt Printf

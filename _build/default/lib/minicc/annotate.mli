@@ -1,0 +1,11 @@
+(** The automatic source annotation pass (§3.1 / Figure 4): rewrite
+    every [delete e;] into [delete ca_deletor_single(e);], the helper
+    that announces the destruction to the race detector and returns its
+    argument unchanged.  Automatic, transparent (the on-disk source is
+    untouched), harmless under normal execution, and idempotent. *)
+
+val annotate : Ast.program -> Ast.program * int
+(** Returns the rewritten program and the number of deletes annotated. *)
+
+val unannotated_deletes : Ast.program -> int
+(** Raw deletes remaining (build diagnostics; 0 after {!annotate}). *)

@@ -1,0 +1,78 @@
+(** Abstract syntax for MiniC++.
+
+    Every node that can touch memory carries the source position it
+    came from, so the interpreter can attribute VM accesses to real
+    lines and the race reports read like Valgrind output over the
+    MiniC++ source. *)
+
+type pos = Token.pos
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Not | Neg
+
+type expr = { e : expr_desc; epos : pos }
+
+and expr_desc =
+  | Int of int
+  | Str of string  (** string literal: used for names passed to builtins *)
+  | Null
+  | Var of string
+  | This
+  | Field of expr * string  (** [e.f] — a VM memory access *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** free function or builtin *)
+  | Method_call of expr * string * expr list  (** virtual dispatch via vptr *)
+  | New of string  (** [new C()] *)
+  | Spawn of string * expr list  (** [spawn f(args)] — returns a tid *)
+  | Deletor of expr
+      (** the [ca_deletor_single] wrapper inserted by the annotation
+          pass (Figure 4): evaluates to its argument after announcing
+          the destruction to the race detector *)
+
+type stmt = { s : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Var_decl of string * expr
+  | Assign of lvalue * expr
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Delete of expr
+  | Lock of expr * stmt list  (** [lock (m) { ... }]: scoped mutex *)
+  | Block of stmt list
+
+and lvalue =
+  | Lvar of string
+  | Lfield of expr * string * pos
+
+type fn_decl = {
+  fn_name : string;
+  fn_params : string list;
+  fn_body : stmt list;
+  fn_pos : pos;
+}
+
+type class_decl = {
+  cls_name : string;
+  cls_parent : string option;
+  cls_fields : string list;
+  cls_methods : fn_decl list;
+  cls_dtor : stmt list option;  (** body of [fn ~C() { ... }] *)
+  cls_pos : pos;
+}
+
+type decl = Dclass of class_decl | Dfn of fn_decl
+
+type program = { decls : decl list; source_file : string }
+
+let classes p = List.filter_map (function Dclass c -> Some c | Dfn _ -> None) p.decls
+let functions p = List.filter_map (function Dfn f -> Some f | Dclass _ -> None) p.decls
+
+let find_class p name = List.find_opt (fun c -> c.cls_name = name) (classes p)
+let find_function p name = List.find_opt (fun f -> f.fn_name = name) (functions p)

@@ -1,0 +1,201 @@
+(** Semantic checks for MiniC++ programs.
+
+    Performed after parsing and before annotation/interpretation:
+    - class hierarchy is acyclic and parents exist;
+    - no duplicate class/function/field names;
+    - variables are defined before use; [this] only inside methods;
+    - called functions exist (or are builtins) and arities match;
+    - spawned functions exist and arities match;
+    - field names exist in {e some} class (MiniC++ objects are
+      dynamically classed, so field access is checked precisely at
+      runtime; statically we catch misspellings that match no class). *)
+
+open Ast
+
+exception Error of string * Token.pos
+
+let err pos fmt = Fmt.kstr (fun m -> raise (Error (m, pos))) fmt
+
+let builtins =
+  (* name, arity *)
+  [
+    ("mutex", 1);
+    ("mutex_lock", 1);
+    ("mutex_unlock", 1);
+    ("rwlock", 1);
+    ("rdlock", 1);
+    ("wrlock", 1);
+    ("rw_unlock", 1);
+    ("cond", 1);
+    ("cond_wait", 2);
+    ("cond_signal", 1);
+    ("cond_broadcast", 1);
+    ("sem", 2);
+    ("sem_wait", 1);
+    ("sem_post", 1);
+    ("benign_race", 2);
+    ("hb_before", 1);
+    ("hb_after", 1);
+    ("join", 1);
+    ("yield", 0);
+    ("sleep", 1);
+    ("now", 0);
+    ("self", 0);
+    ("print", 1);
+    ("print_str", 1);
+    ("alloc", 1);
+    ("free", 1);
+    ("load", 1);
+    ("store", 2);
+    ("atomic_inc", 1);
+    ("atomic_dec", 1);
+    ("hg_destruct", 2);
+    ("ca_deletor_single", 1);
+    ("random", 1);
+  ]
+
+let check (p : program) =
+  let classes = classes p and functions = functions p in
+  (* duplicate / existence checks *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.cls_name then err c.cls_pos "duplicate class %s" c.cls_name;
+      Hashtbl.replace seen c.cls_name ())
+    classes;
+  let fseen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem fseen f.fn_name then err f.fn_pos "duplicate function %s" f.fn_name;
+      if List.mem_assoc f.fn_name builtins then
+        err f.fn_pos "function %s shadows a builtin" f.fn_name;
+      Hashtbl.replace fseen f.fn_name ())
+    functions;
+  (* hierarchy *)
+  let rec ancestors c acc =
+    match c.cls_parent with
+    | None -> acc
+    | Some pname -> (
+        if List.mem pname acc then err c.cls_pos "inheritance cycle through %s" pname;
+        match find_class p pname with
+        | None -> err c.cls_pos "unknown parent class %s" pname
+        | Some parent -> ancestors parent (pname :: acc))
+  in
+  List.iter (fun c -> ignore (ancestors c [ c.cls_name ])) classes;
+  (* field duplication along the chain *)
+  List.iter
+    (fun c ->
+      let rec chain c = match c.cls_parent with
+        | None -> [ c ]
+        | Some pn -> ( match find_class p pn with Some par -> chain par @ [ c ] | None -> [ c ])
+      in
+      let fields = List.concat_map (fun c -> c.cls_fields) (chain c) in
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun f ->
+          if Hashtbl.mem tbl f then err c.cls_pos "field %s duplicated in hierarchy of %s" f c.cls_name;
+          Hashtbl.replace tbl f ())
+        fields)
+    classes;
+  let all_fields =
+    List.concat_map (fun c -> c.cls_fields) classes |> List.sort_uniq compare
+  in
+  let fn_arity name =
+    match List.assoc_opt name builtins with
+    | Some a -> Some a
+    | None -> (
+        match find_function p name with
+        | Some f -> Some (List.length f.fn_params)
+        | None -> None)
+  in
+  (* scope-checked expression/statement walk *)
+  let rec expr env ~in_method (e : expr) =
+    match e.e with
+    | Int _ | Str _ | Null -> ()
+    | Var name -> if not (List.mem name env) then err e.epos "undefined variable %s" name
+    | This -> if not in_method then err e.epos "'this' outside of a method"
+    | Field (obj, f) ->
+        expr env ~in_method obj;
+        if not (List.mem f all_fields) then err e.epos "field %s matches no class" f
+    | Binop (_, a, b) ->
+        expr env ~in_method a;
+        expr env ~in_method b
+    | Unop (_, a) -> expr env ~in_method a
+    | Call (name, args) -> (
+        List.iter (expr env ~in_method) args;
+        match fn_arity name with
+        | None -> err e.epos "unknown function %s" name
+        | Some a ->
+            if a <> List.length args then
+              err e.epos "%s expects %d argument(s), got %d" name a (List.length args))
+    | Method_call (obj, m, args) ->
+        expr env ~in_method obj;
+        List.iter (expr env ~in_method) args;
+        let candidates =
+          List.concat_map (fun c -> c.cls_methods) classes
+          |> List.filter (fun f -> f.fn_name = m)
+        in
+        if candidates = [] then err e.epos "no class defines method %s" m
+    | New cls -> if find_class p cls = None then err e.epos "unknown class %s" cls
+    | Spawn (fn, args) -> (
+        List.iter (expr env ~in_method) args;
+        match find_function p fn with
+        | None -> err e.epos "spawn of unknown function %s" fn
+        | Some f ->
+            if List.length f.fn_params <> List.length args then
+              err e.epos "spawn %s expects %d argument(s), got %d" fn
+                (List.length f.fn_params) (List.length args))
+    | Deletor inner -> expr env ~in_method inner
+  and stmts env ~in_method = function
+    | [] -> ()
+    | s :: rest -> (
+        match s.s with
+        | Var_decl (name, init) ->
+            expr env ~in_method init;
+            stmts (name :: env) ~in_method rest
+        | Assign (Lvar name, rhs) ->
+            if not (List.mem name env) then err s.spos "assignment to undefined variable %s" name;
+            expr env ~in_method rhs;
+            stmts env ~in_method rest
+        | Assign (Lfield (obj, f, fp), rhs) ->
+            expr env ~in_method obj;
+            if not (List.mem f all_fields) then err fp "field %s matches no class" f;
+            expr env ~in_method rhs;
+            stmts env ~in_method rest
+        | Expr e ->
+            expr env ~in_method e;
+            stmts env ~in_method rest
+        | If (cond, a, b) ->
+            expr env ~in_method cond;
+            stmts env ~in_method a;
+            stmts env ~in_method b;
+            stmts env ~in_method rest
+        | While (cond, body) ->
+            expr env ~in_method cond;
+            stmts env ~in_method body;
+            stmts env ~in_method rest
+        | Return None -> stmts env ~in_method rest
+        | Return (Some e) ->
+            expr env ~in_method e;
+            stmts env ~in_method rest
+        | Delete e ->
+            expr env ~in_method e;
+            stmts env ~in_method rest
+        | Lock (m, body) ->
+            expr env ~in_method m;
+            stmts env ~in_method body;
+            stmts env ~in_method rest
+        | Block body ->
+            stmts env ~in_method body;
+            stmts env ~in_method rest)
+  in
+  List.iter (fun f -> stmts f.fn_params ~in_method:false f.fn_body) functions;
+  List.iter
+    (fun c ->
+      List.iter (fun m -> stmts m.fn_params ~in_method:true m.fn_body) c.cls_methods;
+      match c.cls_dtor with None -> () | Some body -> stmts [] ~in_method:true body)
+    classes;
+  match find_function p "main" with
+  | None -> raise (Error ("program has no main function", { Token.file = p.source_file; line = 1; col = 1 }))
+  | Some f ->
+      if f.fn_params <> [] then err f.fn_pos "main must take no parameters"

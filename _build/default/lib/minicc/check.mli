@@ -1,0 +1,12 @@
+(** Semantic checks for MiniC++ programs, performed between parsing and
+    annotation/interpretation: acyclic hierarchy, no duplicates,
+    variables defined before use, [this] only in methods, known
+    functions with matching arities, a parameterless [main]. *)
+
+exception Error of string * Token.pos
+
+val builtins : (string * int) list
+(** Builtin functions and their arities. *)
+
+val check : Ast.program -> unit
+(** Raises {!Error} on the first violation. *)

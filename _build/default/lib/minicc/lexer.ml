@@ -1,0 +1,154 @@
+(** Hand-written lexer for MiniC++. *)
+
+exception Error of string * Token.pos
+
+type t = {
+  src : string;
+  file : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let create ~file src = { src; file; off = 0; line = 1; bol = 0 }
+
+let pos t = { Token.file = t.file; line = t.line; col = t.off - t.bol + 1 }
+
+let peek t = if t.off < String.length t.src then Some t.src.[t.off] else None
+
+let advance t =
+  (match peek t with
+  | Some '\n' ->
+      t.line <- t.line + 1;
+      t.bol <- t.off + 1
+  | _ -> ());
+  t.off <- t.off + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia t =
+  match peek t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance t;
+      skip_trivia t
+  | Some '/' when t.off + 1 < String.length t.src && t.src.[t.off + 1] = '/' ->
+      while peek t <> None && peek t <> Some '\n' do
+        advance t
+      done;
+      skip_trivia t
+  | Some '/' when t.off + 1 < String.length t.src && t.src.[t.off + 1] = '*' ->
+      let p = pos t in
+      advance t;
+      advance t;
+      let rec go () =
+        match peek t with
+        | None -> raise (Error ("unterminated block comment", p))
+        | Some '*' when t.off + 1 < String.length t.src && t.src.[t.off + 1] = '/' ->
+            advance t;
+            advance t
+        | Some _ ->
+            advance t;
+            go ()
+      in
+      go ();
+      skip_trivia t
+  | _ -> ()
+
+let lex_number t p =
+  let start = t.off in
+  while (match peek t with Some c when is_digit c -> true | _ -> false) do
+    advance t
+  done;
+  { Token.kind = Token.INT (int_of_string (String.sub t.src start (t.off - start))); pos = p }
+
+let lex_ident t p =
+  let start = t.off in
+  while (match peek t with Some c when is_ident_char c -> true | _ -> false) do
+    advance t
+  done;
+  let s = String.sub t.src start (t.off - start) in
+  let kind =
+    match Token.keyword_of_string s with Some kw -> kw | None -> Token.IDENT s
+  in
+  { Token.kind; pos = p }
+
+let lex_string t p =
+  advance t;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek t with
+    | None -> raise (Error ("unterminated string literal", p))
+    | Some '"' -> advance t
+    | Some '\\' ->
+        advance t;
+        (match peek t with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some c -> Buffer.add_char buf c
+        | None -> raise (Error ("unterminated escape", p)));
+        advance t;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance t;
+        go ()
+  in
+  go ();
+  { Token.kind = Token.STRING (Buffer.contents buf); pos = p }
+
+let next t =
+  skip_trivia t;
+  let p = pos t in
+  let single kind =
+    advance t;
+    { Token.kind; pos = p }
+  in
+  let double kind =
+    advance t;
+    advance t;
+    { Token.kind; pos = p }
+  in
+  let second = if t.off + 1 < String.length t.src then Some t.src.[t.off + 1] else None in
+  match peek t with
+  | None -> { Token.kind = Token.EOF; pos = p }
+  | Some c when is_digit c -> lex_number t p
+  | Some c when is_ident_start c -> lex_ident t p
+  | Some '"' -> lex_string t p
+  | Some '{' -> single Token.LBRACE
+  | Some '}' -> single Token.RBRACE
+  | Some '(' -> single Token.LPAREN
+  | Some ')' -> single Token.RPAREN
+  | Some ';' -> single Token.SEMI
+  | Some ',' -> single Token.COMMA
+  | Some ':' -> single Token.COLON
+  | Some '.' -> single Token.DOT
+  | Some '~' -> single Token.TILDE
+  | Some '+' -> single Token.PLUS
+  | Some '-' -> single Token.MINUS
+  | Some '*' -> single Token.STAR
+  | Some '/' -> single Token.SLASH
+  | Some '%' -> single Token.PERCENT
+  | Some '=' when second = Some '=' -> double Token.EQ
+  | Some '=' -> single Token.ASSIGN
+  | Some '!' when second = Some '=' -> double Token.NEQ
+  | Some '!' -> single Token.BANG
+  | Some '<' when second = Some '=' -> double Token.LE
+  | Some '<' -> single Token.LT
+  | Some '>' when second = Some '=' -> double Token.GE
+  | Some '>' -> single Token.GT
+  | Some '&' when second = Some '&' -> double Token.ANDAND
+  | Some '|' when second = Some '|' -> double Token.OROR
+  | Some c -> raise (Error (Printf.sprintf "unexpected character %C" c, p))
+
+(** Tokenise a whole source string. *)
+let tokens ~file src =
+  let t = create ~file src in
+  let rec go acc =
+    let tok = next t in
+    if tok.Token.kind = Token.EOF then List.rev (tok :: acc) else go (tok :: acc)
+  in
+  go []

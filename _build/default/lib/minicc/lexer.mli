@@ -1,0 +1,8 @@
+(** Hand-written lexer for MiniC++: identifiers/keywords, integers,
+    string literals with escapes, [//] and [/*...*/] comments. *)
+
+exception Error of string * Token.pos
+
+val tokens : file:string -> string -> Token.t list
+(** Tokenise a whole source string; the list ends with EOF.  Raises
+    {!Error} on malformed input. *)

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for MiniC++ (precedence climbing for
+    expressions).  The real pipeline needed a GLR parser (ELSA) because
+    of full ISO C++; MiniC++ is deliberately LL(1)-ish. *)
+
+exception Error of string * Token.pos
+
+val parse_program : file:string -> Token.t list -> Ast.program
+(** Parse a token stream (ending in EOF). *)
+
+val parse_string : file:string -> string -> Ast.program
+(** Lex + parse (no preprocessing; see {!Preprocess.parse}). *)

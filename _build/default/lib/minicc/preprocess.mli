@@ -1,0 +1,22 @@
+(** The preprocessor stage (§3.3): the parser "requires all information
+    to be included in the source file", so [#include "name"] splices
+    headers from a registry (the simulated include path), recursively,
+    each at most once, with per-fragment file/line attribution. *)
+
+exception Error of string
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> source:string -> unit
+
+val with_builtins : unit -> t
+(** A registry preloaded with the built-in headers
+    ([valgrind/helgrind.h]). *)
+
+val preprocess : t -> file:string -> string -> Token.t list
+(** Token stream with all includes spliced in front. *)
+
+val parse : t -> file:string -> string -> Ast.program
+(** Preprocess, then parse. *)

@@ -1,0 +1,8 @@
+(** Pretty-printer for MiniC++ — renders what "the compiler" sees after
+    the annotation pass, as Figure 4 shows the instrumented C++.
+    Printing then re-parsing is the identity on the AST (property
+    tested). *)
+
+val program : ?header_comment:string -> Ast.program -> string
+(** [header_comment] is prepended (the build wrapper adds the
+    [#include "valgrind/helgrind.h"] banner for annotated output). *)

@@ -1,0 +1,117 @@
+(** Tokens for MiniC++, with source positions.
+
+    MiniC++ is the small C++-like language used to demonstrate the
+    paper's instrumentation pipeline end to end (preprocess → parse →
+    annotate → pretty-print → execute on the VM), standing in for the
+    GCC-preprocess → ELSA-parse → annotate → compile chain of §3.3. *)
+
+type pos = { file : string; line : int; col : int }
+
+let pp_pos ppf p = Fmt.pf ppf "%s:%d:%d" p.file p.line p.col
+
+type kind =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_class
+  | KW_fn
+  | KW_var
+  | KW_if
+  | KW_else
+  | KW_while
+  | KW_return
+  | KW_new
+  | KW_delete
+  | KW_spawn
+  | KW_lock
+  | KW_this
+  | KW_null
+  (* punctuation *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | COMMA
+  | COLON
+  | DOT
+  | TILDE
+  | ASSIGN
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type t = { kind : kind; pos : pos }
+
+let keyword_of_string = function
+  | "class" -> Some KW_class
+  | "fn" -> Some KW_fn
+  | "var" -> Some KW_var
+  | "if" -> Some KW_if
+  | "else" -> Some KW_else
+  | "while" -> Some KW_while
+  | "return" -> Some KW_return
+  | "new" -> Some KW_new
+  | "delete" -> Some KW_delete
+  | "spawn" -> Some KW_spawn
+  | "lock" -> Some KW_lock
+  | "this" -> Some KW_this
+  | "null" -> Some KW_null
+  | _ -> None
+
+let describe = function
+  | INT n -> Printf.sprintf "integer %d" n
+  | STRING s -> Printf.sprintf "string %S" s
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_class -> "'class'"
+  | KW_fn -> "'fn'"
+  | KW_var -> "'var'"
+  | KW_if -> "'if'"
+  | KW_else -> "'else'"
+  | KW_while -> "'while'"
+  | KW_return -> "'return'"
+  | KW_new -> "'new'"
+  | KW_delete -> "'delete'"
+  | KW_spawn -> "'spawn'"
+  | KW_lock -> "'lock'"
+  | KW_this -> "'this'"
+  | KW_null -> "'null'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | TILDE -> "'~'"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"

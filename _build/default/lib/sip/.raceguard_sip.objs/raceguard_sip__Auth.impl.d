@@ -1,0 +1,1 @@
+lib/sip/auth.ml: Raceguard_cxxsim Raceguard_util Raceguard_vm Registrar

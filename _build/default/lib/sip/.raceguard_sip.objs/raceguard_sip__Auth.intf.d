@@ -1,0 +1,1 @@
+lib/sip/auth.mli: Raceguard_cxxsim

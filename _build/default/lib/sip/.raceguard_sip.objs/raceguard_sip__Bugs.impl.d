@@ -1,0 +1,1 @@
+lib/sip/bugs.ml: List Raceguard_util String

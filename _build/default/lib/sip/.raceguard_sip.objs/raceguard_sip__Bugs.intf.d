@@ -1,0 +1,1 @@
+lib/sip/bugs.mli: Raceguard_util

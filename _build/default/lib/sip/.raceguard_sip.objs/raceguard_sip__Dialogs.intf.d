@@ -1,0 +1,1 @@
+lib/sip/dialogs.mli: Raceguard_cxxsim Stats

@@ -1,0 +1,1 @@
+lib/sip/domain_data.ml: List Raceguard_cxxsim Raceguard_util Raceguard_vm Registrar

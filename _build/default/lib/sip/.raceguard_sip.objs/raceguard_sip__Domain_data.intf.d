@@ -1,0 +1,1 @@
+lib/sip/domain_data.mli: Raceguard_cxxsim

@@ -1,0 +1,1 @@
+lib/sip/history.ml: List Raceguard_cxxsim Raceguard_util Raceguard_vm

@@ -1,0 +1,1 @@
+lib/sip/history.mli: Raceguard_cxxsim

@@ -1,0 +1,1 @@
+lib/sip/logger.ml: Array List Printf Raceguard_cxxsim Raceguard_util Raceguard_vm Stats Timeutil

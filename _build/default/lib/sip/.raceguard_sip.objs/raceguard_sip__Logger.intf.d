@@ -1,0 +1,1 @@
+lib/sip/logger.mli: Raceguard_cxxsim Raceguard_util Stats Timeutil

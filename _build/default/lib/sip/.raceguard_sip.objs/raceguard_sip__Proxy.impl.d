@@ -1,0 +1,1 @@
+lib/sip/proxy.ml: Array Auth Dialogs Domain_data History List Logger Printf Raceguard_cxxsim Raceguard_util Raceguard_vm Registrar Routing Sip_msg Stats String Timer_wheel Timeutil Transport Watchdog

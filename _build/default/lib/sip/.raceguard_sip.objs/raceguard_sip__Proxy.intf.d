@@ -1,0 +1,1 @@
+lib/sip/proxy.mli: Raceguard_cxxsim Transport

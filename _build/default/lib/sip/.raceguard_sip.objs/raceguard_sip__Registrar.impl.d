@@ -1,0 +1,1 @@
+lib/sip/registrar.ml: Char List Raceguard_cxxsim Raceguard_util Raceguard_vm Stats String

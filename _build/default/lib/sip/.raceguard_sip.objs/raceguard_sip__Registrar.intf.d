@@ -1,0 +1,1 @@
+lib/sip/registrar.mli: Raceguard_cxxsim Stats

@@ -1,0 +1,1 @@
+lib/sip/sip_msg.ml: Buffer Char List Printf Raceguard_cxxsim Raceguard_util Raceguard_vm String

@@ -1,0 +1,1 @@
+lib/sip/stats.ml: Raceguard_util Raceguard_vm

@@ -1,0 +1,1 @@
+lib/sip/stats.mli: Raceguard_util

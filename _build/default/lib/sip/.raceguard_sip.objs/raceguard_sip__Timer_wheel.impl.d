@@ -1,0 +1,1 @@
+lib/sip/timer_wheel.ml: List Raceguard_cxxsim Raceguard_util Raceguard_vm

@@ -1,0 +1,1 @@
+lib/sip/timer_wheel.mli: Raceguard_cxxsim

@@ -1,0 +1,1 @@
+lib/sip/timeutil.ml: Char Printf Raceguard_util Raceguard_vm String

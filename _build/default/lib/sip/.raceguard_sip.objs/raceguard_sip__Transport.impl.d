@@ -1,0 +1,1 @@
+lib/sip/transport.ml: Char Hashtbl List Queue Raceguard_util Raceguard_vm String

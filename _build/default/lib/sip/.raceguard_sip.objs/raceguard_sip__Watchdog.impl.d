@@ -1,0 +1,1 @@
+lib/sip/watchdog.ml: Raceguard_util Raceguard_vm

@@ -1,0 +1,1 @@
+lib/sip/watchdog.mli:

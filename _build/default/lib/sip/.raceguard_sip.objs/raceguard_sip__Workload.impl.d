@@ -1,0 +1,1 @@
+lib/sip/workload.ml: Auth List Printf Proxy Raceguard_util Raceguard_vm Sip_msg String Transport

@@ -1,0 +1,1 @@
+lib/sip/workload.mli: Proxy Sip_msg Transport

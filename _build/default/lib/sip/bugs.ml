@@ -1,0 +1,68 @@
+(** Ground truth: the bugs injected into the server (§4.1) and how to
+    recognise them in detector reports.
+
+    Each bug is identified by file/function patterns over the report
+    call stack.  This oracle is used by experiment E10 ("true
+    positives") and by tests asserting that every detector
+    configuration still finds the real bugs. *)
+
+type id =
+  | B1_watchdog  (** race in the app's own deadlock-detection code *)
+  | B2_init_order  (** thread started before its data is initialised *)
+  | B3_shutdown_order  (** structure destroyed before its user thread exits *)
+  | B4_returned_reference  (** Figure 7: reference escapes the guard *)
+  | B5_static_buffer  (** ctime/localtime-style static data *)
+  | B6_racy_counters  (** unsynchronised statistics increments *)
+
+let all = [ B1_watchdog; B2_init_order; B3_shutdown_order; B4_returned_reference; B5_static_buffer; B6_racy_counters ]
+
+let to_string = function
+  | B1_watchdog -> "B1-watchdog-race"
+  | B2_init_order -> "B2-init-order"
+  | B3_shutdown_order -> "B3-shutdown-order"
+  | B4_returned_reference -> "B4-returned-reference"
+  | B5_static_buffer -> "B5-static-time-buffer"
+  | B6_racy_counters -> "B6-racy-counters"
+
+let description = function
+  | B1_watchdog ->
+      "the application's timeout-based deadlock detector reads/writes its watch table unsynchronised"
+  | B2_init_order ->
+      "the domain-data reload thread starts before the initial population of the table"
+  | B3_shutdown_order -> "Stats is destroyed before the logger thread that bumps it is joined"
+  | B4_returned_reference ->
+      "getDomainData() returns the address of the mutex-guarded map; callers iterate it unlocked"
+  | B5_static_buffer -> "ctime() formats into a static buffer shared by all threads"
+  | B6_racy_counters -> "fast-path statistics counters use unlocked read-modify-write"
+
+(** Does a stack frame belong to this bug's code?  [frames] are
+    (func, file) pairs from the report stack, innermost first. *)
+let stack_matches bug (frames : (string * string) list) =
+  let any_frame p = List.exists p frames in
+  let starts_with prefix s =
+    String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+  in
+  match bug with
+  | B1_watchdog -> any_frame (fun (_, file) -> file = "lock_watch.cpp")
+  | B2_init_order ->
+      any_frame (fun (func, file) ->
+          file = "domain_data.cpp" && starts_with "ServerModulesManagerImpl::populate" func)
+  | B3_shutdown_order ->
+      any_frame (fun (func, _) -> starts_with "Logger::flushFinal" func)
+  | B4_returned_reference ->
+      (* the caller-side dereference of the escaped map reference:
+         container code reached from unsafe_lookup/callerDeref without
+         the guard *)
+      any_frame (fun (func, _) -> starts_with "ServerModulesManagerImpl::callerDeref" func)
+      || (any_frame (fun (_, file) -> file = "stl_map.h")
+         && any_frame (fun (func, _) -> starts_with "ServerModulesManagerImpl::getDomainData" func))
+  | B5_static_buffer -> any_frame (fun (_, file) -> file = "time.c")
+  | B6_racy_counters ->
+      any_frame (fun (func, file) -> file = "stats.cpp" && starts_with "Stats::on" func)
+
+(** Classify a report against the known bugs. *)
+let identify (stack : Raceguard_util.Loc.t list) =
+  let frames =
+    List.map (fun l -> (Raceguard_util.Loc.func l, Raceguard_util.Loc.file l)) stack
+  in
+  List.filter (fun bug -> stack_matches bug frames) all

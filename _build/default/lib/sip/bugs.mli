@@ -1,0 +1,18 @@
+(** Ground truth: the bugs injected into the server (§4.1) and how to
+    recognise them in detector reports — the oracle behind experiment
+    E10 and the "remaining reports are mostly real" checks. *)
+
+type id =
+  | B1_watchdog  (** race in the app's own deadlock-detection code *)
+  | B2_init_order  (** thread started before its data is initialised *)
+  | B3_shutdown_order  (** structure destroyed before its user thread exits *)
+  | B4_returned_reference  (** Figure 7: reference escapes the guard *)
+  | B5_static_buffer  (** ctime/localtime-style static data *)
+  | B6_racy_counters  (** unsynchronised statistics increments *)
+
+val all : id list
+val to_string : id -> string
+val description : id -> string
+
+val identify : Raceguard_util.Loc.t list -> id list
+(** Which known bugs a report call stack witnesses (possibly none). *)

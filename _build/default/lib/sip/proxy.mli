@@ -1,0 +1,59 @@
+(** The SIP proxy / registrar server — the application under test.
+
+    A scaled-down transliteration of the paper's 500 kLOC commercial
+    signalling server: thread-per-request (or thread-pool) concurrency,
+    shared state behind mutexes and one rw-lock, copy-on-write strings,
+    destructor-heavy object traffic — and the real bugs the paper found
+    (§4.1) injected and individually toggleable. *)
+
+module Refstring = Raceguard_cxxsim.Refstring
+module Allocator = Raceguard_cxxsim.Allocator
+
+type pattern =
+  | Per_request  (** one worker thread per datagram (§3.3, Figure 10) *)
+  | Pool of int  (** fixed worker pool fed by a queue (§4.2.3, Figure 11) *)
+
+type config = {
+  annotate : bool;
+      (** built with the automatic instrumentation (delete + queue
+          annotations); no-ops unless a detector honours them *)
+  alloc_mode : Allocator.mode;  (** container allocator strategy (§4) *)
+  pattern : pattern;
+  enable_watchdog : bool;
+      (** B1: the racy home-grown deadlock detector; default off, as
+          the authors "disabled it for further experiments" *)
+  init_racy : bool;  (** B2: reloader starts before the table is filled *)
+  shutdown_racy : bool;  (** B3: Stats destroyed before the logger exits *)
+  use_leaked_ref : bool;  (** B4: callers use the Figure-7 accessor *)
+  require_auth : bool;
+      (** challenge REGISTERs with a digest nonce (401 flow) *)
+  domains : string list;
+}
+
+val default_config : config
+(** Uninstrumented, direct allocator, thread-per-request, watchdog off,
+    bugs B2–B6 present. *)
+
+type t
+
+val start : transport:Transport.t -> config -> t
+(** Boot the server (call from inside the VM): statistics, logger,
+    registrar, dialog tables, domain data (+ reload thread), routing,
+    request history, timer wheel, optional watchdog, listener. *)
+
+val post_stop : t -> unit
+(** Ask the listener to stop (send the stop datagram). *)
+
+val shutdown : t -> unit
+(** Join workers and service threads and tear the server down —
+    in the racy order when [config.shutdown_racy]. *)
+
+val requests_handled : t -> int
+val log_lines : t -> string list
+
+(** {1 Exposed for white-box tests} *)
+
+val stop_wire : string
+val request_ctx_class : Raceguard_cxxsim.Object_model.class_desc
+val extract_domain : string -> string
+val extract_user : string -> string

@@ -1,0 +1,154 @@
+(** The registrar: user → contact bindings, guarded by one mutex.
+
+    Binding objects are created by the worker handling a REGISTER,
+    stored in a shared map, and later deleted by {e different} workers
+    (refresh, unregister, expiry) — correctly: the binding is unlinked
+    from the map under the lock and deleted {e outside} it, at which
+    point it is private again.  The lock-set algorithm cannot know
+    that: the destructor-chain writes happen with an empty lock-set on
+    SHARED-MODIFIED memory, producing the paper's dominant
+    false-positive class until the DR annotation suppresses it. *)
+
+module Loc = Raceguard_util.Loc
+module Api = Raceguard_vm.Api
+module Obj_model = Raceguard_cxxsim.Object_model
+module Refstring = Raceguard_cxxsim.Refstring
+module Containers = Raceguard_cxxsim.Containers
+
+let lc func line = Loc.v "registrar.cpp" ("Registrar::" ^ func) line
+
+(* class Binding { RefString aor; int expires_at; }
+   class ContactBinding : Binding { RefString contact, user_agent; int cseq; int q_value; } *)
+let binding_class =
+  Obj_model.define ~name:"Binding" ~fields:[ "aor"; "expires_at" ]
+    ~dtor_body:(fun cls obj ->
+      Obj_model.scrub ~file:"registrar.cpp" ~base_line:25 cls obj ~strings:[ "aor" ]
+        ~ints:[ "expires_at" ])
+    ()
+
+let contact_binding_class =
+  Obj_model.define ~parent:binding_class ~name:"ContactBinding"
+    ~fields:[ "contact"; "user_agent"; "cseq"; "q_value" ]
+    ~dtor_body:(fun cls obj ->
+      Obj_model.scrub ~file:"registrar.cpp" ~base_line:34 cls obj
+        ~strings:[ "contact"; "user_agent" ] ~ints:[ "cseq"; "q_value" ])
+    ()
+
+type t = {
+  mutex : Api.Mutex.t;
+  bindings : Containers.Map.t;  (** hash(aor) -> binding object address *)
+  stats : Stats.t;
+}
+
+let hash_string s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (!h * 33) + Char.code c) s;
+  !h land 0x3FFFFFFF
+
+let create ~alloc ~stats =
+  {
+    mutex = Api.Mutex.create ~loc:(lc "Registrar" 50) "registrar.mutex";
+    bindings = Containers.Map.create alloc;
+    stats;
+  }
+
+let new_binding ~loc ~aor ~contact ~cseq ~expires_at =
+  Obj_model.new_ ~loc contact_binding_class ~init:(fun obj ->
+      let cls = contact_binding_class in
+      Obj_model.set ~loc cls obj "aor" (Refstring.create ~loc aor);
+      Obj_model.set ~loc cls obj "expires_at" expires_at;
+      Obj_model.set ~loc cls obj "contact" (Refstring.create ~loc contact);
+      Obj_model.set ~loc cls obj "user_agent" (Refstring.create ~loc "SIPp-sim/1.0");
+      Obj_model.set ~loc cls obj "cseq" cseq;
+      Obj_model.set ~loc cls obj "q_value" 100)
+
+(** Register or refresh a binding.  Returns [`Registered] or
+    [`Refreshed].  A refresh unlinks the old binding under the lock and
+    deletes it outside (the FP-generating pattern). *)
+let register t ~annotate ~aor ~contact ~cseq ~expires =
+  let loc = lc "addBinding" 70 in
+  Api.with_frame loc @@ fun () ->
+  let expires_at = Api.now () + (expires * 100) in
+  let fresh = new_binding ~loc ~aor ~contact ~cseq ~expires_at in
+  let key = hash_string aor in
+  let old =
+    Api.Mutex.with_lock ~loc t.mutex (fun () ->
+        let old = Containers.Map.find t.bindings key in
+        Containers.Map.insert t.bindings key fresh;
+        old)
+  in
+  match old with
+  | Some old_binding when old_binding <> 0 ->
+      (* delete outside the lock: the object is private again *)
+      Obj_model.delete_ ~loc:(lc "addBinding" 82) ~annotate contact_binding_class old_binding;
+      `Refreshed
+  | _ ->
+      Stats.incr_registered t.stats;
+      `Registered
+
+(** Remove a binding (REGISTER with Expires: 0). *)
+let unregister t ~annotate ~aor =
+  let loc = lc "removeBinding" 91 in
+  Api.with_frame loc @@ fun () ->
+  let key = hash_string aor in
+  let victim =
+    Api.Mutex.with_lock ~loc t.mutex (fun () ->
+        match Containers.Map.find t.bindings key with
+        | Some b when b <> 0 ->
+            ignore (Containers.Map.remove t.bindings key);
+            Some b
+        | _ -> None)
+  in
+  match victim with
+  | Some b ->
+      Stats.decr_registered t.stats;
+      Obj_model.delete_ ~loc:(lc "removeBinding" 103) ~annotate contact_binding_class b;
+      true
+  | None -> false
+
+(** Look up the current contact for an AOR; copies the contact string
+    {e under the lock} (correct code, but the copy bumps a shared
+    refcount — a bus-lock site). *)
+let lookup t ~aor =
+  let loc = lc "lookup" 111 in
+  Api.with_frame loc @@ fun () ->
+  let key = hash_string aor in
+  Api.Mutex.with_lock ~loc t.mutex (fun () ->
+      match Containers.Map.find t.bindings key with
+      | Some b when b <> 0 ->
+          let cls = contact_binding_class in
+          let expires_at = Obj_model.get ~loc cls b "expires_at" in
+          if expires_at > Api.now () then
+            Some (Refstring.copy (Obj_model.get ~loc cls b "contact"))
+          else None
+      | _ -> None)
+
+(** Delete every expired binding: unlink under the lock, delete
+    outside.  Called from the housekeeping timer. *)
+let expire_stale t ~annotate =
+  let loc = lc "expireStale" 126 in
+  Api.with_frame loc @@ fun () ->
+  let now = Api.now () in
+  let victims = ref [] in
+  Api.Mutex.with_lock ~loc t.mutex (fun () ->
+      let expired = ref [] in
+      Containers.Map.iter t.bindings (fun key b ->
+          if b <> 0 then begin
+            let e = Obj_model.get ~loc contact_binding_class b "expires_at" in
+            if e <= now then expired := (key, b) :: !expired
+          end);
+      List.iter
+        (fun (key, b) ->
+          ignore (Containers.Map.remove t.bindings key);
+          victims := b :: !victims)
+        !expired);
+  List.iter
+    (fun b ->
+      Stats.decr_registered t.stats;
+      Obj_model.delete_ ~loc:(lc "expireStale" 145) ~annotate contact_binding_class b)
+    !victims;
+  List.length !victims
+
+let size t =
+  Api.Mutex.with_lock ~loc:(lc "size" 150) t.mutex (fun () ->
+      Containers.Map.size t.bindings)

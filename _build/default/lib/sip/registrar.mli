@@ -1,0 +1,41 @@
+(** The registrar: user → contact bindings behind one mutex.
+
+    Binding objects are created by the worker handling a REGISTER and
+    later deleted by {e different} workers (refresh, unregister,
+    expiry) after being unlinked under the lock — correct code whose
+    destructor chains are the paper's dominant false-positive class
+    until the DR annotation suppresses them. *)
+
+module Refstring = Raceguard_cxxsim.Refstring
+
+val binding_class : Raceguard_cxxsim.Object_model.class_desc
+val contact_binding_class : Raceguard_cxxsim.Object_model.class_desc
+
+val hash_string : string -> int
+(** djb2-style hash used as container key for AORs/call-ids. *)
+
+type t
+
+val create : alloc:Raceguard_cxxsim.Allocator.t -> stats:Stats.t -> t
+
+val register :
+  t ->
+  annotate:bool ->
+  aor:string ->
+  contact:string ->
+  cseq:int ->
+  expires:int ->
+  [ `Registered | `Refreshed ]
+(** Add or refresh a binding; a refresh unlinks the old binding under
+    the lock and deletes it outside (the FP-generating pattern). *)
+
+val unregister : t -> annotate:bool -> aor:string -> bool
+
+val lookup : t -> aor:string -> Refstring.t option
+(** Current contact for an AOR, as a {e copy} of the stored string
+    (caller must release it); [None] if absent or expired. *)
+
+val expire_stale : t -> annotate:bool -> int
+(** Delete every expired binding; returns how many. *)
+
+val size : t -> int

@@ -1,0 +1,17 @@
+(** The routing table: next-hop selection behind a POSIX read-write
+    lock — data the original Helgrind reported wholesale because it
+    "does not implement" rw-locks (§2.3.2); the HWLC configuration's
+    rw-lock-aware lock-sets accept it. *)
+
+type t
+
+val create : domains:string list -> t
+
+val next_hop : t -> domain:string -> (int * int * string) option
+(** Read-locked scan: (hop id, cost, gateway name); [None] for unknown
+    domains. *)
+
+val refresh : t -> unit
+(** Write-locked cost update (run from the housekeeping timer). *)
+
+val refreshes : t -> int

@@ -1,0 +1,111 @@
+(** Retransmission / housekeeping timers.
+
+    Workers schedule [TimerTask] objects into a locked list; a timer
+    thread fires due tasks and deletes them — yet another shared-object
+    delete site (the task was created by a worker, is deleted by the
+    timer thread), plus a periodic housekeeping callback used for
+    registrar expiry. *)
+
+module Loc = Raceguard_util.Loc
+module Api = Raceguard_vm.Api
+module Obj_model = Raceguard_cxxsim.Object_model
+
+let lc func line = Loc.v "timer_wheel.cpp" ("TimerWheel::" ^ func) line
+
+(* class TimerTask { int due; int kind; }
+   class RetransmitTimer : TimerTask { int attempts; int txn_key; } *)
+let timer_task_class =
+  Obj_model.define ~name:"TimerTask" ~fields:[ "due"; "kind" ]
+    ~dtor_body:(fun cls obj ->
+      Obj_model.scrub ~file:"timer_wheel.cpp" ~base_line:19 cls obj ~strings:[]
+        ~ints:[ "due"; "kind" ])
+    ()
+
+let retransmit_timer_class =
+  Obj_model.define ~parent:timer_task_class ~name:"RetransmitTimer"
+    ~fields:[ "attempts"; "txn_key" ]
+    ~dtor_body:(fun cls obj ->
+      Obj_model.scrub ~file:"timer_wheel.cpp" ~base_line:27 cls obj ~strings:[]
+        ~ints:[ "attempts"; "txn_key" ])
+    ()
+
+type t = {
+  mutex : Api.Mutex.t;
+  pending : Raceguard_cxxsim.Containers.Vector.t;  (** task addresses *)
+  stop_flag : int;
+  annotate : bool;
+  housekeeping : unit -> unit;
+  mutable thread : int;
+  mutable fired : int;
+}
+
+let create ~alloc ~annotate ~housekeeping =
+  {
+    mutex = Api.Mutex.create ~loc:(lc "TimerWheel" 40) "timer.mutex";
+    pending = Raceguard_cxxsim.Containers.Vector.create alloc;
+    stop_flag = Api.alloc ~loc:(lc "TimerWheel" 42) 1;
+    annotate;
+    housekeeping;
+    thread = -1;
+    fired = 0;
+  }
+
+(** Schedule a retransmission timer for a transaction. *)
+let schedule_retransmit t ~txn_key ~delay =
+  let loc = lc "schedule" 52 in
+  Api.with_frame loc @@ fun () ->
+  let task =
+    Obj_model.new_ ~loc retransmit_timer_class ~init:(fun obj ->
+        let cls = retransmit_timer_class in
+        Obj_model.set ~loc cls obj "due" (Api.now () + delay);
+        Obj_model.set ~loc cls obj "kind" 1;
+        Obj_model.set ~loc cls obj "attempts" 0;
+        Obj_model.set ~loc cls obj "txn_key" txn_key)
+  in
+  Api.Mutex.with_lock ~loc t.mutex (fun () ->
+      Raceguard_cxxsim.Containers.Vector.push_back t.pending task)
+
+let fire_due t =
+  let loc = lc "fireDue" 66 in
+  Api.with_frame loc @@ fun () ->
+  let module V = Raceguard_cxxsim.Containers.Vector in
+  let now = Api.now () in
+  let due = ref [] in
+  Api.Mutex.with_lock ~loc t.mutex (fun () ->
+      (* collect due tasks; compact the vector in place *)
+      let n = V.size t.pending in
+      let keep = ref [] in
+      for i = 0 to n - 1 do
+        let task = V.get t.pending i in
+        if task <> 0 then begin
+          if Obj_model.get ~loc retransmit_timer_class task "due" <= now then
+            due := task :: !due
+          else keep := task :: !keep
+        end
+      done;
+      let keep = List.rev !keep in
+      List.iteri (fun i task -> V.set t.pending i task) keep;
+      for i = List.length keep to n - 1 do
+        V.set t.pending i 0
+      done);
+  List.iter
+    (fun task ->
+      t.fired <- t.fired + 1;
+      (* "retransmit" (a real server would resend here), then delete
+         the worker-created task in the timer thread *)
+      Obj_model.delete_ ~loc:(lc "fireDue" 90) ~annotate:t.annotate retransmit_timer_class task)
+    !due
+
+let run t () =
+  Api.with_frame (lc "run" 94) @@ fun () ->
+  while Api.read ~loc:(lc "run" 95) t.stop_flag = 0 do
+    Api.sleep 15;
+    fire_due t;
+    t.housekeeping ()
+  done;
+  fire_due t
+
+let start t = t.thread <- Api.spawn ~loc:(lc "start" 102) ~name:"timer-wheel" (run t)
+let stop t = ignore (Api.atomic_rmw ~loc:(lc "stop" 103) t.stop_flag (fun _ -> 1))
+let join t = if t.thread >= 0 then Api.join ~loc:(lc "join" 104) t.thread
+let fired t = t.fired

@@ -1,0 +1,18 @@
+(** Retransmission / housekeeping timers: workers schedule [TimerTask]
+    objects into a locked list; the timer thread fires due tasks and
+    deletes them (another cross-thread delete site), and runs the
+    periodic housekeeping callback (registrar expiry, route refresh). *)
+
+val timer_task_class : Raceguard_cxxsim.Object_model.class_desc
+val retransmit_timer_class : Raceguard_cxxsim.Object_model.class_desc
+
+type t
+
+val create :
+  alloc:Raceguard_cxxsim.Allocator.t -> annotate:bool -> housekeeping:(unit -> unit) -> t
+
+val start : t -> unit
+val schedule_retransmit : t -> txn_key:int -> delay:int -> unit
+val stop : t -> unit
+val join : t -> unit
+val fired : t -> int

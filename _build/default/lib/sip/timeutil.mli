@@ -1,0 +1,17 @@
+(** Time formatting with a static buffer — bug B5 (§4.1.3): like
+    [ctime]/[localtime], "return[s] a pointer to static data and hence
+    [is] NOT thread-safe". *)
+
+type t
+
+val buf_len : int
+
+val create : unit -> t
+(** Allocate the C library's static storage. *)
+
+val ctime : t -> int
+(** Format the current virtual time into the static buffer — unlocked
+    writes to shared static data — and return its address. *)
+
+val read_formatted : t -> int -> string
+(** Read the formatted text back (more racy accesses, reader side). *)

@@ -1,0 +1,76 @@
+(** Simulated datagram transport (the "kernel" socket).
+
+    The test drivers (the SIPp stand-in) and the server exchange wire
+    messages through this module.  Payload strings travel through a
+    host-level queue — the kernel's socket buffer, invisible to the
+    race detector, exactly as a real kernel is invisible to Helgrind.
+    A VM semaphore provides the blocking [recvfrom] behaviour.
+
+    On [recv] the payload is copied into a {e freshly allocated} VM
+    buffer by the receiving thread — modelling the [read(2)] syscall
+    copying into the caller's buffer in the caller's context, which is
+    how Valgrind attributes syscall memory effects. *)
+
+module Loc = Raceguard_util.Loc
+module Api = Raceguard_vm.Api
+
+let lc func line = Loc.v "transport.cpp" func line
+
+type endpoint = {
+  name : string;
+  inbox : (string * string) Queue.t;  (** (source, wire) — host level *)
+  ready : Api.Sem.t;
+  mutable dropped : int;
+}
+
+type t = { endpoints : (string, endpoint) Hashtbl.t }
+
+let create () = { endpoints = Hashtbl.create 8 }
+
+(** Must be called from inside the VM (it creates a semaphore). *)
+let endpoint t name =
+  match Hashtbl.find_opt t.endpoints name with
+  | Some ep -> ep
+  | None ->
+      let ep =
+        {
+          name;
+          inbox = Queue.create ();
+          ready = Api.Sem.create ~loc:(lc "socket" 10) ~init:0 (name ^ ".sock");
+          dropped = 0;
+        }
+      in
+      Hashtbl.replace t.endpoints name ep;
+      ep
+
+(** Send [wire] from [src] to the endpoint named [dst]. *)
+let send t ~src ~dst wire =
+  match Hashtbl.find_opt t.endpoints dst with
+  | None -> ( (* unknown destination: datagram silently dropped *) )
+  | Some ep ->
+      Queue.push (src, wire) ep.inbox;
+      Api.Sem.post ~loc:(lc "sendto" 24) ep.ready
+
+(** Blocking receive: returns the source endpoint name, the address of
+    a fresh VM buffer holding the payload (one char per word), and its
+    length.  The caller owns (and must free) the buffer. *)
+let recv _t ep =
+  Api.Sem.wait ~loc:(lc "recvfrom" 31) ep.ready;
+  let src, wire = Queue.pop ep.inbox in
+  let len = String.length wire in
+  let buf = Api.alloc ~loc:(lc "recvfrom" 34) (max 1 len) in
+  String.iteri (fun i c -> Api.write ~loc:(lc "recvfrom" 35) (buf + i) (Char.code c)) wire;
+  (src, buf, len)
+
+(** Read a received buffer back into a host string (VM reads). *)
+let read_buffer buf len =
+  String.init len (fun i -> Char.chr (Api.read ~loc:(lc "recvfrom" 41) (buf + i) land 0xff))
+
+(** Non-VM helpers for test drivers inspecting their own inbox after
+    the run finished. *)
+let drain_host ep =
+  let out = ref [] in
+  Queue.iter (fun m -> out := m :: !out) ep.inbox;
+  List.rev !out
+
+let pending ep = Queue.length ep.inbox

@@ -1,0 +1,31 @@
+(** Simulated datagram transport (the "kernel" socket).
+
+    Payload strings travel through a host-level queue — invisible to
+    the detectors, exactly as the kernel is invisible to Helgrind — and
+    a VM semaphore provides blocking receive.  On {!recv} the payload
+    is copied into a fresh VM buffer {e by the receiving thread},
+    modelling how Valgrind attributes syscall memory effects. *)
+
+type endpoint
+type t
+
+val create : unit -> t
+
+val endpoint : t -> string -> endpoint
+(** Look up or create a named endpoint (call from inside the VM: the
+    first call creates its semaphore). *)
+
+val send : t -> src:string -> dst:string -> string -> unit
+(** Datagram send; silently dropped if [dst] does not exist. *)
+
+val recv : t -> endpoint -> string * int * int
+(** Blocking receive: (source name, VM buffer address, length).  The
+    caller owns — and must free — the buffer. *)
+
+val read_buffer : int -> int -> string
+(** Read a received buffer back into a host string (VM reads). *)
+
+val drain_host : endpoint -> (string * string) list
+(** Host-side inspection of undelivered messages (post-run oracles). *)
+
+val pending : endpoint -> int

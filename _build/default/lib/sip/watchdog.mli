@@ -1,0 +1,24 @@
+(** The application's home-grown deadlock detector — itself racy
+    (bug B1, §4.1): lock/request wait states are written into a global
+    watch table without synchronisation and scanned by a watchdog
+    thread.  "One of the first reported data races was in the
+    application's deadlock detection code ... it was disabled for
+    further experiments." *)
+
+type t
+
+val create : timeout:int -> t
+val start : t -> unit
+
+val before_lock : t -> unit
+(** Record that the calling thread starts a watched wait (unsynchronised
+    write — the bug). *)
+
+val after_lock : t -> unit
+(** Clear the calling thread's slot (also racy). *)
+
+val stop : t -> unit
+val join : t -> unit
+
+val alarms : t -> (int * int) list
+(** Host-side findings: (tid, observed wait length). *)

@@ -1,0 +1,418 @@
+(** The SIPp stand-in: scripted UAC drivers and the eight test cases.
+
+    "The basic request patterns are delivered to the application by an
+    automated test suite.  The main utility of this test suite is SIPp,
+    a tool for SIP load testing." (§3.3)
+
+    Each driver runs as a VM thread with its own transport endpoint: it
+    sends scripted requests, waits for the responses, and records an
+    oracle verdict (host-side) so the functional behaviour of the
+    server is checked on every detector run.  Test cases T1–T8 mix the
+    scenarios differently, which is why their warning-location counts
+    differ (Figure 6). *)
+
+module Loc = Raceguard_util.Loc
+module Api = Raceguard_vm.Api
+
+let lc func line = Loc.v "sipp_driver.cpp" func line
+
+type driver = {
+  d_name : string;
+  transport : Transport.t;
+  endpoint : Transport.endpoint;
+  mutable failures : string list;  (** oracle violations (host side) *)
+  mutable responses : int;
+}
+
+let make_driver ~transport name =
+  { d_name = name; transport; endpoint = Transport.endpoint transport name; failures = []; responses = 0 }
+
+let send d wire = Transport.send d.transport ~src:d.d_name ~dst:"server" wire
+
+(** Wait for one response and check its status code. *)
+let expect d ?(among = []) status =
+  let _src, buf, len = Transport.recv d.transport d.endpoint in
+  let wire = Transport.read_buffer buf len in
+  Api.free ~loc:(lc "expect" 36) buf;
+  d.responses <- d.responses + 1;
+  let ok =
+    match Sip_msg.wire_status wire with
+    | Some s -> s = status || List.mem s among
+    | None -> false
+  in
+  if not ok then
+    d.failures <-
+      Printf.sprintf "%s: expected %d, got %s" d.d_name status
+        (String.concat " | " (String.split_on_char '\r' (String.concat "" (String.split_on_char '\n' wire))))
+      :: d.failures
+
+(** Wait for one response and return its wire text (for flows that need
+    header contents, e.g. the digest challenge). *)
+let recv_response d =
+  let _src, buf, len = Transport.recv d.transport d.endpoint in
+  let wire = Transport.read_buffer buf len in
+  Api.free ~loc:(lc "recv_response" 50) buf;
+  d.responses <- d.responses + 1;
+  wire
+
+let request ~meth ~uri ~from ~to_ ~call_id ~cseq ?(contact = "") ?(expires = -1) ?(auth = 0) () =
+  Sip_msg.request_to_wire
+    { w_meth = meth; w_uri = uri; w_from = from; w_to = to_; w_call_id = call_id; w_cseq = cseq;
+      w_contact = contact; w_expires = expires; w_auth = auth }
+
+(* --- scenario building blocks ------------------------------------- *)
+
+let aor user domain = Printf.sprintf "sip:%s@%s" user domain
+
+let do_register d ~user ~domain ~cseq ?(expires = 3600) () =
+  let a = aor user domain in
+  send d
+    (request ~meth:Sip_msg.REGISTER ~uri:("sip:" ^ domain) ~from:a ~to_:a
+       ~call_id:(Printf.sprintf "reg-%s-%d" user cseq) ~cseq
+       ~contact:(Printf.sprintf "sip:%s@10.0.0.%d:5060" user (1 + (cseq mod 250)))
+       ~expires ());
+  expect d 200
+
+let do_unregister d ~user ~domain ~cseq =
+  ignore (do_register d ~user ~domain ~cseq ~expires:0 ())
+
+(** Registration against a server with [require_auth]: expect the 401
+    challenge, compute the digest from the nonce, retry. *)
+let do_register_auth d ~user ~domain ~cseq =
+  let a = aor user domain in
+  let contact = Printf.sprintf "sip:%s@10.0.1.%d:5060" user (1 + (cseq mod 250)) in
+  let reg ?auth () =
+    request ~meth:Sip_msg.REGISTER ~uri:("sip:" ^ domain) ~from:a ~to_:a
+      ~call_id:(Printf.sprintf "rega-%s-%d" user cseq) ~cseq ~contact ?auth ()
+  in
+  send d (reg ());
+  let challenge = recv_response d in
+  match Sip_msg.wire_status challenge with
+  | Some 401 -> (
+      match Sip_msg.wire_header challenge "WWW-Authenticate" with
+      | Some h -> (
+          match String.index_opt h '=' with
+          | Some i -> (
+              match int_of_string_opt (String.trim (String.sub h (i + 1) (String.length h - i - 1))) with
+              | Some nonce ->
+                  send d (reg ~auth:(Auth.response_for ~nonce) ());
+                  expect d 200
+              | None -> d.failures <- (d.d_name ^ ": unparsable nonce") :: d.failures)
+          | None -> d.failures <- (d.d_name ^ ": malformed challenge") :: d.failures)
+      | None -> d.failures <- (d.d_name ^ ": 401 without WWW-Authenticate") :: d.failures)
+  | s ->
+      d.failures <-
+        Printf.sprintf "%s: expected 401 challenge, got %s" d.d_name
+          (match s with Some s -> string_of_int s | None -> "garbage")
+        :: d.failures
+
+let do_options d ~domain ~cseq =
+  send d
+    (request ~meth:Sip_msg.OPTIONS ~uri:("sip:" ^ domain) ~from:(aor "ping" domain)
+       ~to_:(aor "server" domain) ~call_id:(Printf.sprintf "opt-%s-%d" d.d_name cseq) ~cseq ());
+  expect d 200
+
+(** One complete call: INVITE (180 + 200), ACK, pause, BYE (200). *)
+let do_call d ~caller ~callee ~domain ~call_id ~cseq ?(talk = 10) () =
+  let from = aor caller domain and to_ = aor callee domain in
+  let uri = to_ in
+  send d (request ~meth:Sip_msg.INVITE ~uri ~from ~to_ ~call_id ~cseq ());
+  expect d 180;
+  expect d 200;
+  send d (request ~meth:Sip_msg.ACK ~uri ~from ~to_ ~call_id ~cseq ());
+  Api.sleep talk;
+  send d (request ~meth:Sip_msg.BYE ~uri ~from ~to_ ~call_id ~cseq:(cseq + 1) ());
+  expect d 200
+
+(** INVITE to an unregistered callee: 404 expected. *)
+let do_failed_call d ~caller ~callee ~domain ~call_id ~cseq =
+  let from = aor caller domain and to_ = aor callee domain in
+  send d (request ~meth:Sip_msg.INVITE ~uri:to_ ~from ~to_ ~call_id ~cseq ());
+  expect d 404
+
+(** INVITE then CANCEL then BYE (teardown of a cancelled call). *)
+let do_cancelled_call d ~caller ~callee ~domain ~call_id ~cseq =
+  let from = aor caller domain and to_ = aor callee domain in
+  let uri = to_ in
+  send d (request ~meth:Sip_msg.INVITE ~uri ~from ~to_ ~call_id ~cseq ());
+  expect d 180;
+  expect d 200;
+  send d (request ~meth:Sip_msg.CANCEL ~uri ~from ~to_ ~call_id ~cseq ());
+  expect d 200;
+  send d (request ~meth:Sip_msg.BYE ~uri ~from ~to_ ~call_id ~cseq:(cseq + 1) ());
+  expect d 200
+
+let do_malformed d ~cseq =
+  send d (Printf.sprintf "GARBAGE nonsense/%d\r\n\r\n" cseq);
+  expect d 400
+
+(* ------------------------------------------------------------------ *)
+(* The eight test cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type test_case = {
+  tc_name : string;
+  tc_description : string;
+  tc_drivers : (string * (driver -> unit)) list;
+}
+
+(** T1: registration burst — twenty users register, a few OPTIONS pings
+    in parallel. *)
+let t1 =
+  {
+    tc_name = "T1";
+    tc_description = "REGISTER burst (20 users) + OPTIONS pings";
+    tc_drivers =
+      [
+        ( "uac1",
+          fun d ->
+            for i = 0 to 9 do
+              ignore (do_register d ~user:(Printf.sprintf "alice%d" i) ~domain:"example.com" ~cseq:(i + 1) ())
+            done;
+            (* refresh half of them: each refresh deletes the previous binding *)
+            for i = 0 to 4 do
+              ignore (do_register d ~user:(Printf.sprintf "alice%d" i) ~domain:"example.com" ~cseq:(20 + i) ())
+            done );
+        ( "uac2",
+          fun d ->
+            for i = 0 to 9 do
+              ignore (do_register d ~user:(Printf.sprintf "bob%d" i) ~domain:"voip.example.net" ~cseq:(i + 1) ())
+            done;
+            for i = 0 to 4 do
+              ignore (do_register d ~user:(Printf.sprintf "bob%d" i) ~domain:"voip.example.net" ~cseq:(20 + i) ())
+            done );
+        ( "uac3",
+          fun d ->
+            for i = 0 to 4 do
+              do_options d ~domain:"example.com" ~cseq:(i + 1)
+            done );
+      ];
+  }
+
+(** T2: basic calls — register two parties, then ten sequential
+    INVITE/ACK/BYE cycles. *)
+let t2 =
+  {
+    tc_name = "T2";
+    tc_description = "basic INVITE/ACK/BYE calls";
+    tc_drivers =
+      [
+        ( "uac1",
+          fun d ->
+            ignore (do_register d ~user:"alice" ~domain:"example.com" ~cseq:1 ());
+            ignore (do_register d ~user:"bob" ~domain:"example.com" ~cseq:2 ());
+            for i = 0 to 9 do
+              do_call d ~caller:"alice" ~callee:"bob" ~domain:"example.com"
+                ~call_id:(Printf.sprintf "call-t2-%d" i) ~cseq:(10 + (2 * i)) ()
+            done );
+      ];
+  }
+
+(** T3: OPTIONS keep-alives only — the lightest case. *)
+let t3 =
+  {
+    tc_name = "T3";
+    tc_description = "OPTIONS keep-alives only";
+    tc_drivers =
+      [
+        ( "uac1",
+          fun d ->
+            for i = 0 to 7 do
+              do_options d ~domain:"example.com" ~cseq:(i + 1)
+            done );
+        ( "uac2",
+          fun d ->
+            for i = 0 to 6 do
+              do_options d ~domain:"pbx.local" ~cseq:(i + 1)
+            done );
+      ];
+  }
+
+(** T4: mixed registrations and calls from three agents. *)
+let t4 =
+  {
+    tc_name = "T4";
+    tc_description = "mixed REGISTER + calls, three agents";
+    tc_drivers =
+      [
+        ( "uac1",
+          fun d ->
+            for i = 0 to 5 do
+              ignore (do_register d ~user:(Printf.sprintf "user%d" i) ~domain:"example.com" ~cseq:(i + 1) ())
+            done );
+        ( "uac2",
+          fun d ->
+            ignore (do_register d ~user:"carol" ~domain:"example.com" ~cseq:1 ());
+            for i = 0 to 5 do
+              do_call d ~caller:"dave" ~callee:"carol" ~domain:"example.com"
+                ~call_id:(Printf.sprintf "call-t4a-%d" i) ~cseq:(10 + (2 * i)) ~talk:6 ()
+            done );
+        ( "uac3",
+          fun d ->
+            ignore (do_register d ~user:"erin" ~domain:"voip.example.net" ~cseq:1 ());
+            for i = 0 to 4 do
+              do_call d ~caller:"frank" ~callee:"erin" ~domain:"voip.example.net"
+                ~call_id:(Printf.sprintf "call-t4b-%d" i) ~cseq:(30 + (2 * i)) ~talk:4 ()
+            done );
+      ];
+  }
+
+(** T5: the heaviest case — concurrent calls with re-registrations and
+    pings from four agents. *)
+let t5 =
+  {
+    tc_name = "T5";
+    tc_description = "concurrent calls + re-registrations, four agents";
+    tc_drivers =
+      [
+        ( "uac1",
+          fun d ->
+            ignore (do_register d ~user:"alice" ~domain:"example.com" ~cseq:1 ());
+            for i = 0 to 6 do
+              do_call d ~caller:"x" ~callee:"alice" ~domain:"example.com"
+                ~call_id:(Printf.sprintf "t5a-%d" i) ~cseq:(10 + (2 * i)) ~talk:8 ()
+            done );
+        ( "uac2",
+          fun d ->
+            ignore (do_register d ~user:"bob" ~domain:"example.com" ~cseq:1 ());
+            for i = 0 to 6 do
+              do_call d ~caller:"y" ~callee:"bob" ~domain:"example.com"
+                ~call_id:(Printf.sprintf "t5b-%d" i) ~cseq:(50 + (2 * i)) ~talk:8 ()
+            done );
+        ( "uac3",
+          fun d ->
+            (* keep refreshing the same users: refresh = delete old binding *)
+            for i = 0 to 9 do
+              ignore (do_register d ~user:"alice" ~domain:"example.com" ~cseq:(100 + i) ());
+              Api.sleep 5
+            done );
+        ( "uac4",
+          fun d ->
+            for i = 0 to 6 do
+              do_options d ~domain:"example.com" ~cseq:(i + 1);
+              Api.sleep 4
+            done );
+      ];
+  }
+
+(** T6: registrar churn — register/refresh/unregister cycles. *)
+let t6 =
+  {
+    tc_name = "T6";
+    tc_description = "registrar churn (register/refresh/unregister)";
+    tc_drivers =
+      [
+        ( "uac1",
+          fun d ->
+            for i = 0 to 7 do
+              let user = Printf.sprintf "churn%d" (i mod 4) in
+              ignore (do_register d ~user ~domain:"example.com" ~cseq:(10 * (i + 1)) ());
+              ignore (do_register d ~user ~domain:"example.com" ~cseq:((10 * (i + 1)) + 1) ());
+              do_unregister d ~user ~domain:"example.com" ~cseq:((10 * (i + 1)) + 2)
+            done );
+        ( "uac2",
+          fun d ->
+            for i = 0 to 7 do
+              let user = Printf.sprintf "churn%d" (4 + (i mod 4)) in
+              ignore (do_register d ~user ~domain:"pbx.local" ~cseq:(10 * (i + 1)) ());
+              do_unregister d ~user ~domain:"pbx.local" ~cseq:((10 * (i + 1)) + 1)
+            done );
+        ( "uac3",
+          fun d ->
+            ignore (do_register d ~user:"stable" ~domain:"example.com" ~cseq:1 ());
+            for i = 0 to 4 do
+              do_call d ~caller:"z" ~callee:"stable" ~domain:"example.com"
+                ~call_id:(Printf.sprintf "t6-%d" i) ~cseq:(200 + (2 * i)) ~talk:5 ()
+            done );
+      ];
+  }
+
+(** T7: error flows — malformed datagrams, calls to unknown users,
+    BYEs for unknown dialogs. *)
+let t7 =
+  {
+    tc_name = "T7";
+    tc_description = "error flows: malformed, 404s, stray BYEs";
+    tc_drivers =
+      [
+        ( "uac1",
+          fun d ->
+            for i = 0 to 4 do
+              do_malformed d ~cseq:i
+            done;
+            for i = 0 to 4 do
+              do_failed_call d ~caller:"ghost" ~callee:(Printf.sprintf "nobody%d" i)
+                ~domain:"example.com" ~call_id:(Printf.sprintf "t7-%d" i) ~cseq:(10 + i)
+            done );
+        ( "uac2",
+          fun d ->
+            (* BYE for calls that never existed: 481 *)
+            for i = 0 to 4 do
+              send d
+                (request ~meth:Sip_msg.BYE ~uri:(aor "x" "example.com")
+                   ~from:(aor "y" "example.com") ~to_:(aor "x" "example.com")
+                   ~call_id:(Printf.sprintf "stray-%d" i) ~cseq:(i + 1) ());
+              expect d 481
+            done;
+            ignore (do_register d ~user:"late" ~domain:"example.com" ~cseq:99 ()) );
+      ];
+  }
+
+(** T8: CANCEL flows. *)
+let t8 =
+  {
+    tc_name = "T8";
+    tc_description = "INVITE/CANCEL teardown flows";
+    tc_drivers =
+      [
+        ( "uac1",
+          fun d ->
+            ignore (do_register d ~user:"victim" ~domain:"example.com" ~cseq:1 ());
+            for i = 0 to 5 do
+              do_cancelled_call d ~caller:"w" ~callee:"victim" ~domain:"example.com"
+                ~call_id:(Printf.sprintf "t8-%d" i) ~cseq:(10 + (2 * i))
+            done );
+        ( "uac2",
+          fun d ->
+            for i = 0 to 3 do
+              do_options d ~domain:"example.com" ~cseq:(i + 1)
+            done );
+      ];
+  }
+
+let all_test_cases = [ t1; t2; t3; t4; t5; t6; t7; t8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Running a test case against a server                                *)
+(* ------------------------------------------------------------------ *)
+
+type run_result = {
+  r_failures : string list;  (** oracle violations across all drivers *)
+  r_responses : int;
+  r_requests_handled : int;
+}
+
+(** Body to execute as the VM main thread: start the server, run every
+    driver of [tc] in its own thread, join them, stop and shut down the
+    server.  Returns the oracle result. *)
+let run_test_case ~transport ~(server_config : Proxy.config) tc () =
+  let server = Proxy.start ~transport server_config in
+  let drivers =
+    List.map
+      (fun (name, script) ->
+        let d = make_driver ~transport name in
+        let tid =
+          Api.spawn ~loc:(lc "main" 300) ~name (fun () ->
+              Api.with_frame (lc name 301) (fun () -> script d))
+        in
+        (d, tid))
+      tc.tc_drivers
+  in
+  List.iter (fun (_, tid) -> Api.join ~loc:(lc "main" 306) tid) drivers;
+  Proxy.post_stop server;
+  Proxy.shutdown server;
+  {
+    r_failures = List.concat_map (fun (d, _) -> List.rev d.failures) drivers;
+    r_responses = List.fold_left (fun acc (d, _) -> acc + d.responses) 0 drivers;
+    r_requests_handled = Proxy.requests_handled server;
+  }

@@ -1,0 +1,117 @@
+(** The SIPp stand-in: scripted UAC drivers and the eight test cases of
+    the paper's evaluation (§3.3).
+
+    Each driver runs as a VM thread with its own transport endpoint,
+    sends scripted requests, checks the responses (host-side oracle),
+    and the test case joins them all before shutting the server down. *)
+
+type driver
+
+val make_driver : transport:Transport.t -> string -> driver
+(** Call from inside the VM (creates the endpoint's semaphore). *)
+
+(** {1 Low-level driver operations} *)
+
+val send : driver -> string -> unit
+(** Send a raw wire message to the server. *)
+
+val recv_response : driver -> string
+(** Wait for one response and return its wire text. *)
+
+val request :
+  meth:Sip_msg.meth ->
+  uri:string ->
+  from:string ->
+  to_:string ->
+  call_id:string ->
+  cseq:int ->
+  ?contact:string ->
+  ?expires:int ->
+  ?auth:int ->
+  unit ->
+  string
+(** Build a request wire message. *)
+
+val expect : driver -> ?among:int list -> int -> unit
+(** Wait for one response and record an oracle failure unless its
+    status is the expected one (or in [among]). *)
+
+(** {1 Scenario building blocks} *)
+
+val do_register :
+  driver -> user:string -> domain:string -> cseq:int -> ?expires:int -> unit -> unit
+
+val do_unregister : driver -> user:string -> domain:string -> cseq:int -> unit
+
+val do_register_auth : driver -> user:string -> domain:string -> cseq:int -> unit
+(** Registration against a server with [require_auth]: expect the 401
+    digest challenge, compute the response, retry, expect 200. *)
+
+val do_options : driver -> domain:string -> cseq:int -> unit
+
+val do_call :
+  driver ->
+  caller:string ->
+  callee:string ->
+  domain:string ->
+  call_id:string ->
+  cseq:int ->
+  ?talk:int ->
+  unit ->
+  unit
+(** One complete call: INVITE (180 + 200), ACK, pause, BYE (200). *)
+
+val do_failed_call :
+  driver -> caller:string -> callee:string -> domain:string -> call_id:string -> cseq:int -> unit
+
+val do_cancelled_call :
+  driver -> caller:string -> callee:string -> domain:string -> call_id:string -> cseq:int -> unit
+
+val do_malformed : driver -> cseq:int -> unit
+
+(** {1 Test cases} *)
+
+type test_case = {
+  tc_name : string;
+  tc_description : string;
+  tc_drivers : (string * (driver -> unit)) list;
+}
+
+(** [t1] REGISTER burst + refreshes + OPTIONS pings. *)
+val t1 : test_case
+
+(** [t2] basic INVITE/ACK/BYE calls. *)
+val t2 : test_case
+
+(** [t3] OPTIONS keep-alives only — the lightest case. *)
+val t3 : test_case
+
+(** [t4] mixed REGISTER + calls, three agents. *)
+val t4 : test_case
+
+(** [t5] concurrent calls + re-registrations — the heaviest case. *)
+val t5 : test_case
+
+(** [t6] registrar churn (register/refresh/unregister). *)
+val t6 : test_case
+
+(** [t7] error flows: malformed datagrams, 404s, stray BYEs. *)
+val t7 : test_case
+
+(** [t8] INVITE/CANCEL teardown flows. *)
+val t8 : test_case
+
+val all_test_cases : test_case list
+
+(** {1 Running} *)
+
+type run_result = {
+  r_failures : string list;  (** oracle violations across all drivers *)
+  r_responses : int;
+  r_requests_handled : int;
+}
+
+val run_test_case :
+  transport:Transport.t -> server_config:Proxy.config -> test_case -> unit -> run_result
+(** Body to execute as the VM main thread: start the server, run every
+    driver in its own thread, join them, stop and shut down. *)

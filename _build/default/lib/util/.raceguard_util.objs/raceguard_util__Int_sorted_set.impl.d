@@ -1,0 +1,1 @@
+lib/util/int_sorted_set.ml: Array Fmt List

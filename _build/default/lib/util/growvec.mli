@@ -1,0 +1,23 @@
+(** Growable vector (OCaml 5.1 has no [Dynarray] yet): append-heavy
+    storage for memory pages, thread tables, segment graphs, traces. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [dummy] fills unused capacity; it is never observable. *)
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> int
+(** Append; returns the element's index. *)
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool

@@ -1,0 +1,91 @@
+(** Small immutable integer sets as sorted arrays.
+
+    Lock-sets are tiny (usually 0–3 elements) and the hot operation is
+    intersection, so a sorted [int array] beats a balanced tree both in
+    constant factor and in memory.  All operations return fresh arrays
+    and never mutate their inputs. *)
+
+type t = int array
+
+let empty : t = [||]
+
+let is_empty (t : t) = Array.length t = 0
+
+let cardinal (t : t) = Array.length t
+
+let mem x (t : t) =
+  (* binary search *)
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if t.(mid) = x then true else if t.(mid) < x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length t)
+
+let of_list l : t =
+  let a = Array.of_list (List.sort_uniq compare l) in
+  a
+
+let to_list (t : t) = Array.to_list t
+
+let singleton x : t = [| x |]
+
+let add x (t : t) : t =
+  if mem x t then t
+  else begin
+    let n = Array.length t in
+    let r = Array.make (n + 1) x in
+    let i = ref 0 in
+    while !i < n && t.(!i) < x do
+      r.(!i) <- t.(!i);
+      incr i
+    done;
+    r.(!i) <- x;
+    Array.blit t !i r (!i + 1) (n - !i);
+    r
+  end
+
+let remove x (t : t) : t =
+  if not (mem x t) then t
+  else begin
+    let n = Array.length t in
+    let r = Array.make (n - 1) 0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if t.(i) <> x then begin
+        r.(!j) <- t.(i);
+        incr j
+      end
+    done;
+    r
+  end
+
+let inter (a : t) (b : t) : t =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then empty
+  else begin
+    let buf = Array.make (min na nb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < na && !j < nb do
+      if a.(!i) = b.(!j) then begin
+        buf.(!k) <- a.(!i);
+        incr k;
+        incr i;
+        incr j
+      end
+      else if a.(!i) < b.(!j) then incr i
+      else incr j
+    done;
+    if !k = min na nb then buf else Array.sub buf 0 !k
+  end
+
+let union (a : t) (b : t) : t =
+  of_list (Array.to_list a @ Array.to_list b)
+
+let equal (a : t) (b : t) = a = b
+
+let subset (a : t) (b : t) = Array.for_all (fun x -> mem x b) a
+
+let pp pp_elt ppf (t : t) =
+  Fmt.pf ppf "{%a}" Fmt.(array ~sep:(any ", ") pp_elt) t

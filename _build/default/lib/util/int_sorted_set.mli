@@ -1,0 +1,22 @@
+(** Small immutable integer sets as sorted arrays.
+
+    Lock-sets are tiny (0–3 elements) and the hot operation is
+    intersection, so a sorted [int array] beats a balanced tree in both
+    constant factor and memory.  All operations are persistent. *)
+
+type t = private int array
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+val mem : int -> t -> bool
+val of_list : int list -> t
+val to_list : t -> int list
+val singleton : int -> t
+val add : int -> t -> t
+val remove : int -> t -> t
+val inter : t -> t -> t
+val union : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val pp : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** Source locations for the simulated programs.
+
+    Reports produced by the detectors print Valgrind-style call stacks,
+    so every memory access and synchronisation operation in a simulated
+    application carries a [Loc.t] naming the (pseudo) source position
+    that performed it. *)
+
+type t = { file : string; func : string; line : int }
+
+let make ~file ~func ~line = { file; func; line }
+
+let v file func line = { file; func; line }
+
+let unknown = { file = "<unknown>"; func = "<unknown>"; line = 0 }
+
+let file t = t.file
+let func t = t.func
+let line t = t.line
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c else String.compare a.func b.func
+
+let equal a b = compare a b = 0
+
+let hash t = Hashtbl.hash (t.file, t.func, t.line)
+
+let pp ppf t = Fmt.pf ppf "%s (%s:%d)" t.func t.file t.line
+
+let to_string t = Fmt.str "%a" pp t
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

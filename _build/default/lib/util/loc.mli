@@ -1,0 +1,30 @@
+(** Source locations for simulated programs.
+
+    Every memory access and synchronisation operation carries a
+    [Loc.t] naming the pseudo source position performing it, so race
+    reports print Valgrind-style call stacks. *)
+
+type t = { file : string; func : string; line : int }
+
+val make : file:string -> func:string -> line:int -> t
+
+val v : string -> string -> int -> t
+(** [v file func line]. *)
+
+val unknown : t
+
+val file : t -> string
+val func : t -> string
+val line : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["func (file:line)"]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,74 @@
+(** Plain-text table and bar-chart rendering for experiment output.
+
+    The benchmark harness prints the same rows/series the paper reports
+    (Figure 5 bar chart, Figure 6 table); this module does the layout. *)
+
+type align = Left | Right
+
+type t = { headers : string list; aligns : align list; rows : string list list }
+
+let create ~headers ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length headers then
+          invalid_arg "Table.create: aligns length mismatch";
+        a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: row length mismatch";
+  { t with rows = t.rows @ [ row ] }
+
+let widths t =
+  let all = t.headers :: t.rows in
+  List.mapi
+    (fun i _ -> List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all)
+    t.headers
+
+let pad align w s =
+  let n = w - String.length s in
+  if n <= 0 then s
+  else match align with Left -> s ^ String.make n ' ' | Right -> String.make n ' ' ^ s
+
+let render t =
+  let ws = widths t in
+  let line row =
+    String.concat "  "
+      (List.map2 (fun (w, a) s -> pad a w s) (List.combine ws t.aligns) row)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') ws) in
+  String.concat "\n" (line t.headers :: sep :: List.map line t.rows)
+
+let print t = print_endline (render t)
+
+(** Horizontal ASCII bar chart: one stacked bar per row.  [segments] is a
+    list of (label, glyph); each row gives the value of every segment. *)
+let render_stacked_bars ~title ~segments ~rows ~max_width =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  let max_total =
+    List.fold_left (fun m (_, vals) -> max m (List.fold_left ( + ) 0 vals)) 1 rows
+  in
+  let scale v = v * max_width / max_total in
+  let label_w = List.fold_left (fun m (l, _) -> max m (String.length l)) 0 rows in
+  List.iter
+    (fun (label, vals) ->
+      Buffer.add_string buf (pad Left label_w label);
+      Buffer.add_string buf " |";
+      List.iteri
+        (fun i v ->
+          let _, glyph = List.nth segments i in
+          Buffer.add_string buf (String.make (scale v) glyph))
+        vals;
+      Buffer.add_string buf (Printf.sprintf "  (total %d)\n" (List.fold_left ( + ) 0 vals)))
+    rows;
+  Buffer.add_string buf "legend: ";
+  List.iter
+    (fun (name, glyph) -> Buffer.add_string buf (Printf.sprintf "[%c] %s  " glyph name))
+    segments;
+  Buffer.add_string buf "\n";
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Plain-text table and stacked-bar rendering for experiment output
+    (the Figure 5/6 artefacts). *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> ?aligns:align list -> unit -> t
+(** [aligns] defaults to all-[Right]; length must match [headers]. *)
+
+val add_row : t -> string list -> t
+(** Persistent; raises [Invalid_argument] on arity mismatch. *)
+
+val render : t -> string
+val print : t -> unit
+
+val render_stacked_bars :
+  title:string ->
+  segments:(string * char) list ->
+  rows:(string * int list) list ->
+  max_width:int ->
+  string
+(** One horizontal stacked bar per row; each row gives the value of
+    every segment, rendered with the segment's glyph. *)

@@ -1,0 +1,1 @@
+lib/vm/api.ml: Eff Fun Raceguard_util

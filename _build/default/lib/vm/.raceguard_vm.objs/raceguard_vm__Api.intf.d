@@ -1,0 +1,1 @@
+lib/vm/api.mli: Raceguard_util

@@ -1,0 +1,1 @@
+lib/vm/eff.ml: Effect Fmt Raceguard_util

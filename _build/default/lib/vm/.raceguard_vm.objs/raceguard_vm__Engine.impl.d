@@ -1,0 +1,1 @@
+lib/vm/engine.ml: Array Eff Effect Event Fmt Hashtbl List Memory Queue Raceguard_util Tool

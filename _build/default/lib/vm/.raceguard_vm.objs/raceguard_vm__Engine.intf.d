@@ -1,0 +1,1 @@
+lib/vm/engine.mli: Event Format Memory Tool

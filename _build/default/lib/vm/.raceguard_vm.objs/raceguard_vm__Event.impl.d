@@ -1,0 +1,1 @@
+lib/vm/event.ml: Eff Fmt Raceguard_util

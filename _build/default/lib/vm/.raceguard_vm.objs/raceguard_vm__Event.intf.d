@@ -1,0 +1,1 @@
+lib/vm/event.mli: Eff Format Raceguard_util

@@ -1,0 +1,1 @@
+lib/vm/explore.ml: Array Engine

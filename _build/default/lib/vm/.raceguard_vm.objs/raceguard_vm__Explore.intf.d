@@ -1,0 +1,1 @@
+lib/vm/explore.mli: Engine

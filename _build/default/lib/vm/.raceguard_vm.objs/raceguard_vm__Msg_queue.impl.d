@@ -1,0 +1,1 @@
+lib/vm/msg_queue.ml: Api Raceguard_util

@@ -1,0 +1,1 @@
+lib/vm/msg_queue.mli:

@@ -1,0 +1,1 @@
+lib/vm/thread_pool.ml: Api Array Msg_queue Printf Raceguard_util

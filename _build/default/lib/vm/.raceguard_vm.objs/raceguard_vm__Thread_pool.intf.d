@@ -1,0 +1,1 @@
+lib/vm/thread_pool.mli:

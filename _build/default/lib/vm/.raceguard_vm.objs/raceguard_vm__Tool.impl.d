@@ -1,0 +1,1 @@
+lib/vm/tool.ml: Event Memory Raceguard_util

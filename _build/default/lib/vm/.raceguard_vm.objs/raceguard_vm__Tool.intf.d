@@ -1,0 +1,1 @@
+lib/vm/tool.mli: Event Memory Raceguard_util

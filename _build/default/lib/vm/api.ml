@@ -1,0 +1,117 @@
+(** Operations available {e inside} simulated threads.
+
+    These are the "system calls" of the VM: a simulated application is
+    ordinary OCaml code calling these functions.  Each call suspends
+    the fiber and hands control to the scheduler, so every call is a
+    potential preemption point — the granularity at which Valgrind's
+    serialised execution can interleave threads.
+
+    All functions taking [~loc] record the (pseudo) source position for
+    race reports; use {!with_frame} to maintain the simulated call
+    stack. *)
+
+module Loc = Raceguard_util.Loc
+open Eff
+
+(* --- memory ------------------------------------------------------- *)
+
+let read ~loc addr = perform (Read { addr; loc })
+let write ~loc addr value = perform (Write { addr; value; loc })
+
+(** [LOCK]-prefixed read-modify-write; returns the old value. *)
+let atomic_rmw ~loc addr f = perform (Atomic_rmw { addr; f; loc })
+
+let atomic_incr ~loc addr = atomic_rmw ~loc addr (fun v -> v + 1)
+let atomic_decr ~loc addr = atomic_rmw ~loc addr (fun v -> v - 1)
+
+let atomic_cas ~loc addr ~expected ~desired =
+  let old = atomic_rmw ~loc addr (fun v -> if v = expected then desired else v) in
+  old = expected
+
+let alloc ~loc len = perform (Alloc { len; loc })
+let free ~loc addr = perform (Free { addr; loc })
+
+(* --- threads ------------------------------------------------------ *)
+
+let spawn ~loc ~name body = perform (Spawn { name; body; loc })
+let join ~loc tid = perform (Join { tid; loc })
+let self () = perform Self
+let yield () = perform Yield
+let sleep n = perform (Sleep n)
+let now () = perform Now
+let random_int bound = perform (Random_int bound)
+
+(* --- synchronisation ---------------------------------------------- *)
+
+module Mutex = struct
+  type t = int
+
+  let create ~loc name = perform (Mutex_create { name; loc })
+  let lock ~loc m = perform (Mutex_lock { m; loc })
+  let try_lock ~loc m = perform (Mutex_trylock { m; loc })
+  let unlock ~loc m = perform (Mutex_unlock { m; loc })
+
+  let with_lock ~loc m f =
+    lock ~loc m;
+    Fun.protect ~finally:(fun () -> unlock ~loc m) f
+end
+
+module Rwlock = struct
+  type t = int
+
+  let create ~loc name = perform (Rwlock_create { name; loc })
+  let rdlock ~loc rw = perform (Rwlock_lock { rw; mode = Read_mode; loc })
+  let wrlock ~loc rw = perform (Rwlock_lock { rw; mode = Write_mode; loc })
+  let unlock ~loc rw = perform (Rwlock_unlock { rw; loc })
+
+  let with_rdlock ~loc rw f =
+    rdlock ~loc rw;
+    Fun.protect ~finally:(fun () -> unlock ~loc rw) f
+
+  let with_wrlock ~loc rw f =
+    wrlock ~loc rw;
+    Fun.protect ~finally:(fun () -> unlock ~loc rw) f
+end
+
+module Cond = struct
+  type t = int
+
+  let create ~loc name = perform (Cond_create { name; loc })
+  let wait ~loc cv m = perform (Cond_wait { cv; m; loc })
+  let signal ~loc cv = perform (Cond_signal { cv; loc })
+  let broadcast ~loc cv = perform (Cond_broadcast { cv; loc })
+end
+
+module Sem = struct
+  type t = int
+
+  let create ~loc ~init name = perform (Sem_create { name; init; loc })
+  let wait ~loc s = perform (Sem_wait { s; loc })
+  let post ~loc s = perform (Sem_post { s; loc })
+end
+
+(* --- client requests (Valgrind user-space calls) ------------------ *)
+
+(** Announce that the object at [addr..addr+len-1] is about to be
+    destroyed — the [VALGRIND_HG_DESTRUCT] macro of Figure 4.  A no-op
+    for the VM itself; only tools interpret it. *)
+let hg_destruct ~addr ~len = perform (Client (Destruct { addr; len }))
+
+let benign_race ~addr ~len = perform (Client (Benign_race { addr; len }))
+
+(** [ANNOTATE_HAPPENS_BEFORE]/[_AFTER]: make a higher-level handoff
+    (queue put/get, custom synchronisation) visible to detectors that
+    honour these annotations — the paper's §5 future-work direction. *)
+let annotate_happens_before ~tag = perform (Client (Happens_before { tag }))
+
+let annotate_happens_after ~tag = perform (Client (Happens_after { tag }))
+
+(* --- call stack maintenance --------------------------------------- *)
+
+let push_frame loc = perform (Push_frame loc)
+let pop_frame () = perform Pop_frame
+
+(** Run [f] with [loc] pushed on the simulated call stack. *)
+let with_frame loc f =
+  push_frame loc;
+  Fun.protect ~finally:pop_frame f

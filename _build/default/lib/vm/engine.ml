@@ -1,0 +1,792 @@
+(** The virtual machine engine: a deterministic cooperative scheduler.
+
+    Simulated threads are OCaml fibers (effect handlers).  Every VM
+    operation is a scheduling point: the fiber suspends, the operation
+    is applied to the VM state, events are emitted to the registered
+    tools, and the scheduler picks the next runnable thread according
+    to the configured policy.  Given the same seed and policy, a run is
+    bit-for-bit reproducible — which is what makes "rerun the test
+    suite after fixing a problem" (§4 of the paper) meaningful.
+
+    The engine also performs runtime deadlock detection: when no thread
+    is runnable or sleeping but some are blocked, it reconstructs the
+    waits-for graph and reports the cycle (the paper's application
+    detected deadlocks with lock timeouts; the race checker "also does
+    dead-lock detection, [so] application level detection is not
+    needed", §3.3). *)
+
+module Loc = Raceguard_util.Loc
+module Rng = Raceguard_util.Rng
+module Growvec = Raceguard_util.Growvec
+open Eff
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling policies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type policy =
+  | Round_robin  (** strict FIFO over ready threads *)
+  | Random_seeded  (** uniformly random among ready threads (uses seed) *)
+  | Sticky
+      (** keep running the current thread until it blocks or exits;
+          models a coarse-grained interleaving with few switches *)
+  | Scripted of int array
+      (** replay a decision script: the k-th scheduling decision picks
+          ready thread [script.(k) mod n]; past the end of the script
+          decisions default to 0 (FIFO).  The backbone of systematic
+          schedule exploration ({!Explore}). *)
+
+let pp_policy ppf = function
+  | Round_robin -> Fmt.string ppf "round-robin"
+  | Random_seeded -> Fmt.string ppf "random"
+  | Sticky -> Fmt.string ppf "sticky"
+  | Scripted s -> Fmt.pf ppf "scripted[%d]" (Array.length s)
+
+type config = {
+  seed : int;
+  policy : policy;
+  reuse_memory : bool;
+  trace_events : bool;  (** record the full event trace (offline analysis) *)
+  max_ops : int;  (** safety valve against runaway simulations *)
+}
+
+let default_config =
+  { seed = 1; policy = Random_seeded; reuse_memory = true; trace_events = false; max_ops = 50_000_000 }
+
+(* ------------------------------------------------------------------ *)
+(* Threads                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type wake = Wake : ('a, unit) Effect.Deep.continuation * (unit -> 'a) -> wake
+
+type block_reason =
+  | On_mutex of int
+  | On_rwlock of int * mode
+  | On_cond of int * int  (** cv, mutex to reacquire *)
+  | On_sem of int
+  | On_join of int
+  | On_sleep of int  (** absolute wake time *)
+
+type status =
+  | Fresh of (unit -> unit)
+  | Ready
+  | Running
+  | Blocked of block_reason
+  | Done
+
+type thread = {
+  tid : int;
+  name : string;
+  parent : int option;
+  mutable status : status;
+  mutable wake : wake option;
+  mutable frames : Loc.t list;
+  mutable failure : exn option;
+  mutable join_waiters : int list;
+  mutable ops : int;  (** operations executed by this thread *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Synchronisation objects                                             *)
+(* ------------------------------------------------------------------ *)
+
+type mutex_obj = {
+  m_id : int;
+  m_name : string;
+  mutable m_owner : int option;
+  m_waiters : int Queue.t;
+}
+
+type rwlock_obj = {
+  rw_id : int;
+  rw_name : string;
+  mutable rw_writer : int option;
+  mutable rw_readers : int list;
+  rw_waiters : (int * mode) Queue.t;
+}
+
+type cond_obj = { cv_id : int; cv_name : string; cv_waiters : (int * int) Queue.t }
+(** waiters carry the mutex they must reacquire *)
+
+type sem_obj = { sem_id : int; sem_name : string; mutable sem_count : int; sem_waiters : int Queue.t }
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock / run outcome                                              *)
+(* ------------------------------------------------------------------ *)
+
+type deadlock = {
+  dl_cycle : (int * string) list;  (** (tid, what it waits for) *)
+  dl_stuck : (int * string) list;  (** blocked threads not in a cycle *)
+}
+
+let pp_deadlock ppf d =
+  if d.dl_cycle <> [] then begin
+    Fmt.pf ppf "DEADLOCK: cyclic wait among %d thread(s):@\n" (List.length d.dl_cycle);
+    List.iter (fun (tid, what) -> Fmt.pf ppf "  thread %d waits for %s@\n" tid what) d.dl_cycle
+  end;
+  if d.dl_stuck <> [] then begin
+    Fmt.pf ppf "HANG: %d thread(s) blocked with no waker:@\n" (List.length d.dl_stuck);
+    List.iter (fun (tid, what) -> Fmt.pf ppf "  thread %d waits for %s@\n" tid what) d.dl_stuck
+  end
+
+type run_stats = {
+  ops_executed : int;
+  scheduler_switches : int;
+  threads_created : int;
+  final_clock : int;
+  memory_allocs : int;
+  memory_live_words : int;
+}
+
+type outcome = {
+  deadlock : deadlock option;
+  failures : (int * string * exn) list;  (** threads that raised *)
+  stats : run_stats;
+  trace : Event.t array;  (** empty unless [trace_events] *)
+}
+
+exception Misuse of string
+(** raised inside a simulated thread on API misuse (unlocking a mutex
+    one does not hold, double free, ...) *)
+
+(* ------------------------------------------------------------------ *)
+(* The VM                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  memory : Memory.t;
+  threads : thread Growvec.t;
+  mutexes : mutex_obj Growvec.t;
+  rwlocks : rwlock_obj Growvec.t;
+  conds : cond_obj Growvec.t;
+  sems : sem_obj Growvec.t;
+  mutable ready : int list;  (** ready tids, FIFO order (head = oldest) *)
+  mutable current : int;
+  mutable clock : int;
+  mutable ops : int;
+  mutable switches : int;
+  mutable tools : Tool.t list;
+  mutable trace : Event.t Growvec.t;
+  mutable benign_ranges : (int * int) list;
+  mutable decisions : (int * int) list;
+      (** reverse log of (chosen index, arity) for decision points with
+          arity > 1 — the branching structure {!Explore} enumerates *)
+}
+
+let dummy_thread =
+  {
+    tid = -1;
+    name = "<dummy>";
+    parent = None;
+    status = Done;
+    wake = None;
+    frames = [];
+    failure = None;
+    join_waiters = [];
+    ops = 0;
+  }
+
+let create ?(config = default_config) () =
+  {
+    config;
+    rng = Rng.create ~seed:config.seed;
+    memory = Memory.create ~reuse:config.reuse_memory ();
+    threads = Growvec.create ~dummy:dummy_thread;
+    mutexes =
+      Growvec.create ~dummy:{ m_id = -1; m_name = ""; m_owner = None; m_waiters = Queue.create () };
+    rwlocks =
+      Growvec.create
+        ~dummy:{ rw_id = -1; rw_name = ""; rw_writer = None; rw_readers = []; rw_waiters = Queue.create () };
+    conds = Growvec.create ~dummy:{ cv_id = -1; cv_name = ""; cv_waiters = Queue.create () };
+    sems = Growvec.create ~dummy:{ sem_id = -1; sem_name = ""; sem_count = 0; sem_waiters = Queue.create () };
+    ready = [];
+    current = -1;
+    clock = 0;
+    ops = 0;
+    switches = 0;
+    tools = [];
+    trace = Growvec.create ~dummy:(Event.E_thread_exit { tid = -1 });
+    benign_ranges = [];
+    decisions = [];
+  }
+
+let add_tool t tool = t.tools <- t.tools @ [ tool ]
+
+(** Chronological log of nontrivial scheduling decisions as
+    (chosen index, arity) pairs; meaningful after {!run}. *)
+let decision_log t = List.rev t.decisions
+
+let thread t tid = Growvec.get t.threads tid
+let memory t = t.memory
+
+let tool_ctx t : Tool.ctx =
+  {
+    stack_of = (fun tid -> (thread t tid).frames);
+    thread_name = (fun tid -> (thread t tid).name);
+    block_of = (fun addr -> Memory.block_of t.memory addr);
+    clock = (fun () -> t.clock);
+  }
+
+let emit t event =
+  if t.config.trace_events then ignore (Growvec.push t.trace event);
+  let ctx = tool_ctx t in
+  List.iter (fun (tool : Tool.t) -> tool.on_event ctx event) t.tools
+
+(* --- ready queue ------------------------------------------------- *)
+
+let enqueue_ready t tid =
+  let th = thread t tid in
+  (match th.status with
+  | Fresh _ | Ready -> ()
+  | Running | Blocked _ -> th.status <- Ready
+  | Done -> invalid_arg "enqueue_ready: thread is done");
+  t.ready <- t.ready @ [ tid ]
+
+let ready_list t = t.ready
+
+let take_ready_at t idx =
+  let rec go i acc = function
+    | [] -> invalid_arg "take_ready_at"
+    | x :: rest ->
+        if i = idx then begin
+          t.ready <- List.rev_append acc rest;
+          x
+        end
+        else go (i + 1) (x :: acc) rest
+  in
+  go 0 [] t.ready
+
+let pick_ready t =
+  match t.ready with
+  | [] -> None
+  | l ->
+      let n = List.length l in
+      let choice =
+        match t.config.policy with
+        | Round_robin -> 0
+        | Random_seeded -> Rng.int t.rng n
+        | Sticky ->
+            (* prefer the thread that ran last if it is ready *)
+            let rec find i = function
+              | [] -> 0
+              | x :: _ when x = t.current -> i
+              | _ :: rest -> find (i + 1) rest
+            in
+            find 0 l
+        | Scripted script ->
+            let k = List.length t.decisions in
+            if k < Array.length script then script.(k) mod n else 0
+      in
+      if n > 1 then t.decisions <- (choice, n) :: t.decisions;
+      Some (take_ready_at t choice)
+
+(* --- waking helpers ---------------------------------------------- *)
+
+let resume_with (th : thread) (v : unit -> 'a) (k : ('a, unit) Effect.Deep.continuation) =
+  th.wake <- Some (Wake (k, v))
+
+(* Grant a mutex to a waiting thread and make it runnable.  The
+   acquire event is emitted at grant time: that is the moment the
+   acquisition semantically happens. *)
+let grant_mutex t (m : mutex_obj) tid ~loc =
+  m.m_owner <- Some tid;
+  emit t (Event.E_acquire { tid; lock = Event.Mutex m.m_id; mode = Write_mode; loc });
+  enqueue_ready t tid
+
+let rec rwlock_grant_waiters t (rw : rwlock_obj) ~loc =
+  (* FIFO with reader batching: grant the head; if it is a reader, keep
+     granting readers until a writer is at the head. *)
+  if (not (Queue.is_empty rw.rw_waiters)) && rw.rw_writer = None then begin
+    let tid, mode = Queue.peek rw.rw_waiters in
+    match mode with
+    | Write_mode ->
+        if rw.rw_readers = [] then begin
+          ignore (Queue.pop rw.rw_waiters);
+          rw.rw_writer <- Some tid;
+          emit t (Event.E_acquire { tid; lock = Event.Rwlock rw.rw_id; mode = Write_mode; loc });
+          enqueue_ready t tid
+        end
+    | Read_mode ->
+        ignore (Queue.pop rw.rw_waiters);
+        rw.rw_readers <- tid :: rw.rw_readers;
+        emit t (Event.E_acquire { tid; lock = Event.Rwlock rw.rw_id; mode = Read_mode; loc });
+        enqueue_ready t tid;
+        rwlock_grant_waiters t rw ~loc
+  end
+
+(* Full mutex unlock path shared by Mutex_unlock and Cond_wait. *)
+let do_mutex_unlock t th (m : mutex_obj) ~loc =
+  if m.m_owner <> Some th.tid then
+    raise (Misuse (Fmt.str "thread %d unlocks mutex %S it does not hold" th.tid m.m_name));
+  m.m_owner <- None;
+  emit t (Event.E_release { tid = th.tid; lock = Event.Mutex m.m_id; loc });
+  if not (Queue.is_empty m.m_waiters) then begin
+    let w = Queue.pop m.m_waiters in
+    grant_mutex t m w ~loc
+  end
+
+(* --- deadlock detection ------------------------------------------ *)
+
+let describe_wait t = function
+  | On_mutex m ->
+      let mu = Growvec.get t.mutexes m in
+      Fmt.str "mutex %S (held by %s)" mu.m_name
+        (match mu.m_owner with Some o -> Fmt.str "thread %d" o | None -> "nobody")
+  | On_rwlock (rw, mode) ->
+      let r = Growvec.get t.rwlocks rw in
+      Fmt.str "rwlock %S in %a mode (writer=%s, readers=%d)" r.rw_name Eff.pp_mode mode
+        (match r.rw_writer with Some o -> Fmt.str "t%d" o | None -> "none")
+        (List.length r.rw_readers)
+  | On_cond (cv, _) -> Fmt.str "condition %S (no signal pending)" (Growvec.get t.conds cv).cv_name
+  | On_sem s -> Fmt.str "semaphore %S" (Growvec.get t.sems s).sem_name
+  | On_join tid -> Fmt.str "termination of thread %d" tid
+  | On_sleep until -> Fmt.str "sleep until %d" until
+
+(* waits-for edges: tid -> tid that could wake it (single blocking
+   owner for mutex/rwlock-writer/join; none for cond/sem). *)
+let waiting_on_thread t reason =
+  match reason with
+  | On_mutex m -> (Growvec.get t.mutexes m).m_owner
+  | On_rwlock (rw, _) -> (
+      let r = Growvec.get t.rwlocks rw in
+      match r.rw_writer with
+      | Some w -> Some w
+      | None -> ( match r.rw_readers with [ x ] -> Some x | _ -> None))
+  | On_join tid -> Some tid
+  | On_cond _ | On_sem _ | On_sleep _ -> None
+
+let detect_deadlock t =
+  let blocked = ref [] in
+  Growvec.iter
+    (fun th -> match th.status with Blocked r -> blocked := (th, r) :: !blocked | _ -> ())
+    t.threads;
+  match !blocked with
+  | [] -> None
+  | blocked ->
+      (* find a cycle in the waits-for graph *)
+      let edge tid =
+        match (thread t tid).status with
+        | Blocked r -> waiting_on_thread t r
+        | _ -> None
+      in
+      let in_cycle = Hashtbl.create 8 in
+      List.iter
+        (fun (th, _) ->
+          (* follow edges from th; if we come back to a visited node on
+             this walk, everything from there on is a cycle *)
+          let rec walk seen tid =
+            if List.mem tid seen then begin
+              let rec mark = function
+                | [] -> ()
+                | x :: rest ->
+                    if x = tid then List.iter (fun y -> Hashtbl.replace in_cycle y ()) (tid :: rest)
+                    else mark rest
+              in
+              mark (List.rev seen)
+            end
+            else match edge tid with None -> () | Some next -> walk (tid :: seen) next
+          in
+          walk [] th.tid)
+        blocked;
+      let cycle, stuck =
+        List.partition (fun (th, _) -> Hashtbl.mem in_cycle th.tid) blocked
+      in
+      let describe (th, r) = (th.tid, describe_wait t r) in
+      Some { dl_cycle = List.map describe cycle; dl_stuck = List.map describe stuck }
+
+(* ------------------------------------------------------------------ *)
+(* Operation interpretation                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Too_many_ops
+
+let reschedule_self t th v k =
+  resume_with th v k;
+  enqueue_ready t th.tid
+
+(* Interpret one operation performed by thread [th].  Must either make
+   [th] runnable again (with a wake) or leave it blocked in some wait
+   queue. *)
+let rec handle_op : type a. t -> thread -> a op -> (a, unit) Effect.Deep.continuation -> unit =
+ fun t th op k ->
+  t.ops <- t.ops + 1;
+  th.ops <- th.ops + 1;
+  t.clock <- t.clock + 1;
+  if t.ops > t.config.max_ops then raise Too_many_ops;
+  let ret (v : a) = reschedule_self t th (fun () -> v) k in
+  match op with
+  | Read { addr; loc } ->
+      let value = Memory.get t.memory addr in
+      emit t (Event.E_read { tid = th.tid; addr; value; atomic = false; loc });
+      ret value
+  | Write { addr; value; loc } ->
+      Memory.set t.memory addr value;
+      emit t (Event.E_write { tid = th.tid; addr; value; atomic = false; loc });
+      ret ()
+  | Atomic_rmw { addr; f; loc } ->
+      (* one LOCK-prefixed instruction: an atomic load followed by an
+         atomic store, indivisible (no scheduling point in between) *)
+      let old = Memory.get t.memory addr in
+      let value = f old in
+      Memory.set t.memory addr value;
+      emit t (Event.E_read { tid = th.tid; addr; value = old; atomic = true; loc });
+      emit t (Event.E_write { tid = th.tid; addr; value; atomic = true; loc });
+      ret old
+  | Alloc { len; loc } ->
+      let addr = Memory.alloc t.memory ~tid:th.tid ~loc ~stack:th.frames ~len in
+      emit t (Event.E_alloc { tid = th.tid; addr; len; loc });
+      ret addr
+  | Free { addr; loc } ->
+      let len = Memory.free t.memory ~addr in
+      emit t (Event.E_free { tid = th.tid; addr; len; loc });
+      ret ()
+  | Spawn { name; body; loc } ->
+      let child =
+        {
+          tid = Growvec.length t.threads;
+          name;
+          parent = Some th.tid;
+          status = Fresh body;
+          wake = None;
+          frames = [ loc ];
+          failure = None;
+          join_waiters = [];
+          ops = 0;
+        }
+      in
+      ignore (Growvec.push t.threads child);
+      emit t (Event.E_thread_start { tid = child.tid; name; parent = Some th.tid });
+      emit t (Event.E_spawn { parent = th.tid; child = child.tid; loc });
+      enqueue_ready t child.tid;
+      ret child.tid
+  | Join { tid; loc } ->
+      if tid < 0 || tid >= Growvec.length t.threads then
+        raise (Misuse (Fmt.str "join of unknown thread %d" tid));
+      let target = thread t tid in
+      if target.status = Done then begin
+        emit t (Event.E_join { joiner = th.tid; joined = tid; loc });
+        ret ()
+      end
+      else begin
+        target.join_waiters <- (th.tid :: target.join_waiters);
+        th.status <- Blocked (On_join tid);
+        resume_with th (fun () -> ()) k
+      end
+  | Mutex_create { name; loc } ->
+      let m = { m_id = Growvec.length t.mutexes; m_name = name; m_owner = None; m_waiters = Queue.create () } in
+      ignore (Growvec.push t.mutexes m);
+      emit t (Event.E_sync_create { tid = th.tid; sync = Event.Mutex m.m_id; name; loc });
+      ret m.m_id
+  | Mutex_lock { m; loc } -> (
+      let mu = Growvec.get t.mutexes m in
+      match mu.m_owner with
+      | None ->
+          mu.m_owner <- Some th.tid;
+          emit t (Event.E_acquire { tid = th.tid; lock = Event.Mutex m; mode = Write_mode; loc });
+          ret ()
+      | Some owner when owner = th.tid ->
+          raise (Misuse (Fmt.str "thread %d relocks non-recursive mutex %S" th.tid mu.m_name))
+      | Some _ ->
+          Queue.push th.tid mu.m_waiters;
+          th.status <- Blocked (On_mutex m);
+          resume_with th (fun () -> ()) k)
+  | Mutex_trylock { m; loc } -> (
+      let mu = Growvec.get t.mutexes m in
+      match mu.m_owner with
+      | None ->
+          mu.m_owner <- Some th.tid;
+          emit t (Event.E_acquire { tid = th.tid; lock = Event.Mutex m; mode = Write_mode; loc });
+          ret true
+      | Some _ -> ret false)
+  | Mutex_unlock { m; loc } ->
+      let mu = Growvec.get t.mutexes m in
+      do_mutex_unlock t th mu ~loc;
+      ret ()
+  | Rwlock_create { name; loc } ->
+      let rw =
+        { rw_id = Growvec.length t.rwlocks; rw_name = name; rw_writer = None; rw_readers = []; rw_waiters = Queue.create () }
+      in
+      ignore (Growvec.push t.rwlocks rw);
+      emit t (Event.E_sync_create { tid = th.tid; sync = Event.Rwlock rw.rw_id; name; loc });
+      ret rw.rw_id
+  | Rwlock_lock { rw; mode; loc } -> (
+      let r = Growvec.get t.rwlocks rw in
+      match mode with
+      | Read_mode ->
+          if r.rw_writer = None && Queue.is_empty r.rw_waiters then begin
+            r.rw_readers <- th.tid :: r.rw_readers;
+            emit t (Event.E_acquire { tid = th.tid; lock = Event.Rwlock rw; mode; loc });
+            ret ()
+          end
+          else begin
+            Queue.push (th.tid, mode) r.rw_waiters;
+            th.status <- Blocked (On_rwlock (rw, mode));
+            resume_with th (fun () -> ()) k
+          end
+      | Write_mode ->
+          if r.rw_writer = None && r.rw_readers = [] && Queue.is_empty r.rw_waiters then begin
+            r.rw_writer <- Some th.tid;
+            emit t (Event.E_acquire { tid = th.tid; lock = Event.Rwlock rw; mode; loc });
+            ret ()
+          end
+          else begin
+            Queue.push (th.tid, mode) r.rw_waiters;
+            th.status <- Blocked (On_rwlock (rw, mode));
+            resume_with th (fun () -> ()) k
+          end)
+  | Rwlock_unlock { rw; loc } ->
+      let r = Growvec.get t.rwlocks rw in
+      (if r.rw_writer = Some th.tid then r.rw_writer <- None
+       else if List.mem th.tid r.rw_readers then
+         r.rw_readers <- List.filter (fun x -> x <> th.tid) r.rw_readers
+       else raise (Misuse (Fmt.str "thread %d unlocks rwlock %S it does not hold" th.tid r.rw_name)));
+      emit t (Event.E_release { tid = th.tid; lock = Event.Rwlock rw; loc });
+      rwlock_grant_waiters t r ~loc;
+      ret ()
+  | Cond_create { name; loc } ->
+      let cv = { cv_id = Growvec.length t.conds; cv_name = name; cv_waiters = Queue.create () } in
+      ignore (Growvec.push t.conds cv);
+      emit t (Event.E_sync_create { tid = th.tid; sync = Event.Cond cv.cv_id; name; loc });
+      ret cv.cv_id
+  | Cond_wait { cv; m; loc } ->
+      let c = Growvec.get t.conds cv in
+      let mu = Growvec.get t.mutexes m in
+      emit t (Event.E_cond_wait_pre { tid = th.tid; cv; m; loc });
+      do_mutex_unlock t th mu ~loc;
+      Queue.push (th.tid, m) c.cv_waiters;
+      th.status <- Blocked (On_cond (cv, m));
+      resume_with th (fun () -> ()) k
+  | Cond_signal { cv; loc } ->
+      let c = Growvec.get t.conds cv in
+      emit t (Event.E_cond_signal { tid = th.tid; cv; broadcast = false; loc });
+      (if not (Queue.is_empty c.cv_waiters) then begin
+         let w, m = Queue.pop c.cv_waiters in
+         wake_cond_waiter t w m ~cv ~loc
+       end);
+      ret ()
+  | Cond_broadcast { cv; loc } ->
+      let c = Growvec.get t.conds cv in
+      emit t (Event.E_cond_signal { tid = th.tid; cv; broadcast = true; loc });
+      while not (Queue.is_empty c.cv_waiters) do
+        let w, m = Queue.pop c.cv_waiters in
+        wake_cond_waiter t w m ~cv ~loc
+      done;
+      ret ()
+  | Sem_create { name; init; loc } ->
+      let s = { sem_id = Growvec.length t.sems; sem_name = name; sem_count = init; sem_waiters = Queue.create () } in
+      ignore (Growvec.push t.sems s);
+      emit t (Event.E_sync_create { tid = th.tid; sync = Event.Sem s.sem_id; name; loc });
+      ret s.sem_id
+  | Sem_wait { s; loc } ->
+      let sem = Growvec.get t.sems s in
+      if sem.sem_count > 0 then begin
+        sem.sem_count <- sem.sem_count - 1;
+        emit t (Event.E_sem_wait_post { tid = th.tid; sem = s; loc });
+        ret ()
+      end
+      else begin
+        Queue.push th.tid sem.sem_waiters;
+        th.status <- Blocked (On_sem s);
+        resume_with th (fun () -> ()) k
+      end
+  | Sem_post { s; loc } ->
+      let sem = Growvec.get t.sems s in
+      emit t (Event.E_sem_post { tid = th.tid; sem = s; loc });
+      (if Queue.is_empty sem.sem_waiters then sem.sem_count <- sem.sem_count + 1
+       else begin
+         let w = Queue.pop sem.sem_waiters in
+         emit t (Event.E_sem_wait_post { tid = w; sem = s; loc });
+         enqueue_ready t w
+       end);
+      ret ()
+  | Client req ->
+      let loc = match th.frames with [] -> Loc.unknown | l :: _ -> l in
+      (match req with
+      | Benign_race { addr; len } -> t.benign_ranges <- (addr, len) :: t.benign_ranges
+      | Destruct _ | Happens_before _ | Happens_after _ -> ());
+      emit t (Event.E_client { tid = th.tid; req; loc });
+      ret ()
+  | Yield -> ret ()
+  | Sleep n ->
+      th.status <- Blocked (On_sleep (t.clock + max 1 n));
+      resume_with th (fun () -> ()) k
+  | Now -> ret t.clock
+  | Self -> ret th.tid
+  | Push_frame loc ->
+      th.frames <- loc :: th.frames;
+      ret ()
+  | Pop_frame ->
+      (match th.frames with [] -> () | _ :: rest -> th.frames <- rest);
+      ret ()
+  | Random_int bound -> ret (Rng.int t.rng bound)
+
+and wake_cond_waiter t w m ~cv ~loc =
+  (* a signalled waiter must reacquire its mutex before returning *)
+  let mu = Growvec.get t.mutexes m in
+  let wth = thread t w in
+  (match mu.m_owner with
+  | None ->
+      mu.m_owner <- Some w;
+      emit t (Event.E_acquire { tid = w; lock = Event.Mutex m; mode = Write_mode; loc });
+      emit t (Event.E_cond_wait_post { tid = w; cv; m; loc });
+      enqueue_ready t w
+  | Some _ ->
+      (* park on the mutex; when granted, the wait_post event must
+         still be emitted — we wrap the thread's wake closure. *)
+      wth.status <- Blocked (On_mutex m);
+      (match wth.wake with
+      | Some (Wake (k, v)) ->
+          wth.wake <-
+            Some
+              (Wake
+                 ( k,
+                   fun () ->
+                     emit t (Event.E_cond_wait_post { tid = w; cv; m; loc });
+                     v () ))
+      | None -> ());
+      Queue.push w mu.m_waiters)
+
+(* ------------------------------------------------------------------ *)
+(* The scheduler loop                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let thread_finished t th =
+  th.status <- Done;
+  emit t (Event.E_thread_exit { tid = th.tid });
+  List.iter
+    (fun w ->
+      emit t (Event.E_join { joiner = w; joined = th.tid; loc = Loc.unknown });
+      enqueue_ready t w)
+    th.join_waiters;
+  th.join_waiters <- []
+
+let handler t th : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> thread_finished t th);
+    exnc =
+      (fun e ->
+        th.failure <- Some e;
+        thread_finished t th);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Do op ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                (* API misuse (bad unlock, double free, out-of-bounds
+                   access, ...) is the calling thread's error: deliver
+                   it at the perform point so the thread fails and the
+                   VM keeps running.  Engine-level conditions
+                   (Too_many_ops) still abort the run. *)
+                match handle_op t th op k with
+                | () -> ()
+                | exception ((Misuse _ | Invalid_argument _) as e) ->
+                    Effect.Deep.discontinue k e)
+        | _ -> None);
+  }
+
+let run_thread t th =
+  t.current <- th.tid;
+  t.switches <- t.switches + 1;
+  match th.status with
+  | Fresh body ->
+      th.status <- Running;
+      Effect.Deep.match_with body () (handler t th)
+  | Ready -> (
+      th.status <- Running;
+      match th.wake with
+      | Some (Wake (k, v)) ->
+          th.wake <- None;
+          Effect.Deep.continue k (v ())
+      | None -> invalid_arg "run_thread: ready thread without wake")
+  | Running | Blocked _ | Done -> invalid_arg "run_thread: thread not runnable"
+
+let wake_due_sleepers t =
+  let woke = ref false in
+  Growvec.iter
+    (fun th ->
+      match th.status with
+      | Blocked (On_sleep until) when until <= t.clock ->
+          enqueue_ready t th.tid;
+          woke := true
+      | _ -> ())
+    t.threads;
+  !woke
+
+let earliest_sleeper t =
+  Growvec.fold
+    (fun acc th ->
+      match th.status with
+      | Blocked (On_sleep until) -> (
+          match acc with Some u -> Some (min u until) | None -> Some until)
+      | _ -> acc)
+    None t.threads
+
+(** Run [main] as thread 0 until all threads finish, a deadlock is
+    detected, or the op budget is exhausted. *)
+let run t main =
+  let main_thread =
+    {
+      tid = 0;
+      name = "main";
+      parent = None;
+      status = Fresh main;
+      wake = None;
+      frames = [ Loc.v "<vm>" "main" 0 ];
+      failure = None;
+      join_waiters = [];
+      ops = 0;
+    }
+  in
+  ignore (Growvec.push t.threads main_thread);
+  emit t (Event.E_thread_start { tid = 0; name = "main"; parent = None });
+  enqueue_ready t 0;
+  let deadlock = ref None in
+  (try
+     let continue_loop = ref true in
+     while !continue_loop do
+       match pick_ready t with
+       | Some tid -> run_thread t (thread t tid)
+       | None -> (
+           ignore (wake_due_sleepers t);
+           if ready_list t <> [] then ()
+           else
+             match earliest_sleeper t with
+             | Some until ->
+                 t.clock <- until;
+                 ignore (wake_due_sleepers t)
+             | None -> (
+                 match detect_deadlock t with
+                 | Some d ->
+                     deadlock := Some d;
+                     continue_loop := false
+                 | None -> continue_loop := false))
+     done
+   with Too_many_ops ->
+     deadlock :=
+       Some
+         {
+           dl_cycle = [];
+           dl_stuck = [ (t.current, Fmt.str "op budget (%d) exhausted — livelock?" t.config.max_ops) ];
+         });
+  let failures =
+    Growvec.fold
+      (fun acc th -> match th.failure with Some e -> (th.tid, th.name, e) :: acc | None -> acc)
+      [] t.threads
+  in
+  {
+    deadlock = !deadlock;
+    failures = List.rev failures;
+    stats =
+      {
+        ops_executed = t.ops;
+        scheduler_switches = t.switches;
+        threads_created = Growvec.length t.threads;
+        final_clock = t.clock;
+        memory_allocs = Memory.total_allocs t.memory;
+        memory_live_words = Memory.live_words t.memory;
+      };
+    trace = Array.init (Growvec.length t.trace) (fun i -> Growvec.get t.trace i);
+  }

@@ -1,0 +1,91 @@
+(** Events observed by tools (Valgrind "skins").
+
+    The engine serialises the execution of all simulated threads and
+    emits one event per interesting operation, in execution order.
+    Tools such as the Helgrind-style detector subscribe to this stream;
+    they never see OCaml-level parallelism. *)
+
+module Loc = Raceguard_util.Loc
+
+(** Synchronisation object reference.  Mutexes, rw-locks, condition
+    variables and semaphores have separate id spaces. *)
+type sync_ref =
+  | Mutex of int
+  | Rwlock of int
+  | Cond of int
+  | Sem of int
+
+let pp_sync_ref ppf = function
+  | Mutex i -> Fmt.pf ppf "mutex#%d" i
+  | Rwlock i -> Fmt.pf ppf "rwlock#%d" i
+  | Cond i -> Fmt.pf ppf "cond#%d" i
+  | Sem i -> Fmt.pf ppf "sem#%d" i
+
+type t =
+  | E_thread_start of { tid : int; name : string; parent : int option }
+  | E_thread_exit of { tid : int }
+  | E_spawn of { parent : int; child : int; loc : Loc.t }
+  | E_join of { joiner : int; joined : int; loc : Loc.t }
+  | E_read of { tid : int; addr : int; value : int; atomic : bool; loc : Loc.t }
+  | E_write of { tid : int; addr : int; value : int; atomic : bool; loc : Loc.t }
+  | E_alloc of { tid : int; addr : int; len : int; loc : Loc.t }
+  | E_free of { tid : int; addr : int; len : int; loc : Loc.t }
+  | E_sync_create of { tid : int; sync : sync_ref; name : string; loc : Loc.t }
+  | E_acquire of { tid : int; lock : sync_ref; mode : Eff.mode; loc : Loc.t }
+  | E_release of { tid : int; lock : sync_ref; loc : Loc.t }
+  | E_cond_signal of { tid : int; cv : int; broadcast : bool; loc : Loc.t }
+  | E_cond_wait_pre of { tid : int; cv : int; m : int; loc : Loc.t }
+  | E_cond_wait_post of { tid : int; cv : int; m : int; loc : Loc.t }
+  | E_sem_post of { tid : int; sem : int; loc : Loc.t }
+  | E_sem_wait_post of { tid : int; sem : int; loc : Loc.t }
+  | E_client of { tid : int; req : Eff.client_request; loc : Loc.t }
+
+let tid = function
+  | E_thread_start { tid; _ }
+  | E_thread_exit { tid }
+  | E_read { tid; _ }
+  | E_write { tid; _ }
+  | E_alloc { tid; _ }
+  | E_free { tid; _ }
+  | E_sync_create { tid; _ }
+  | E_acquire { tid; _ }
+  | E_release { tid; _ }
+  | E_cond_signal { tid; _ }
+  | E_cond_wait_pre { tid; _ }
+  | E_cond_wait_post { tid; _ }
+  | E_sem_post { tid; _ }
+  | E_sem_wait_post { tid; _ }
+  | E_client { tid; _ } -> tid
+  | E_spawn { parent; _ } -> parent
+  | E_join { joiner; _ } -> joiner
+
+let pp ppf = function
+  | E_thread_start { tid; name; parent } ->
+      Fmt.pf ppf "thread_start t%d %S parent=%a" tid name Fmt.(option int) parent
+  | E_thread_exit { tid } -> Fmt.pf ppf "thread_exit t%d" tid
+  | E_spawn { parent; child; _ } -> Fmt.pf ppf "spawn t%d -> t%d" parent child
+  | E_join { joiner; joined; _ } -> Fmt.pf ppf "join t%d <- t%d" joiner joined
+  | E_read { tid; addr; value; atomic; _ } ->
+      Fmt.pf ppf "read t%d [%#x] = %d%s" tid addr value (if atomic then " (locked)" else "")
+  | E_write { tid; addr; value; atomic; _ } ->
+      Fmt.pf ppf "write t%d [%#x] <- %d%s" tid addr value (if atomic then " (locked)" else "")
+  | E_alloc { tid; addr; len; _ } -> Fmt.pf ppf "alloc t%d %#x+%d" tid addr len
+  | E_free { tid; addr; len; _ } -> Fmt.pf ppf "free t%d %#x+%d" tid addr len
+  | E_sync_create { tid; sync; name; _ } ->
+      Fmt.pf ppf "sync_create t%d %a %S" tid pp_sync_ref sync name
+  | E_acquire { tid; lock; mode; _ } ->
+      Fmt.pf ppf "acquire t%d %a (%a)" tid pp_sync_ref lock Eff.pp_mode mode
+  | E_release { tid; lock; _ } -> Fmt.pf ppf "release t%d %a" tid pp_sync_ref lock
+  | E_cond_signal { tid; cv; broadcast; _ } ->
+      Fmt.pf ppf "%s t%d cond#%d" (if broadcast then "broadcast" else "signal") tid cv
+  | E_cond_wait_pre { tid; cv; _ } -> Fmt.pf ppf "cond_wait_pre t%d cond#%d" tid cv
+  | E_cond_wait_post { tid; cv; _ } -> Fmt.pf ppf "cond_wait_post t%d cond#%d" tid cv
+  | E_sem_post { tid; sem; _ } -> Fmt.pf ppf "sem_post t%d sem#%d" tid sem
+  | E_sem_wait_post { tid; sem; _ } -> Fmt.pf ppf "sem_wait_post t%d sem#%d" tid sem
+  | E_client { tid; req; _ } -> (
+      match req with
+      | Eff.Destruct { addr; len } -> Fmt.pf ppf "client t%d HG_DESTRUCT %#x+%d" tid addr len
+      | Eff.Benign_race { addr; len } ->
+          Fmt.pf ppf "client t%d BENIGN_RACE %#x+%d" tid addr len
+      | Eff.Happens_before { tag } -> Fmt.pf ppf "client t%d HAPPENS_BEFORE %#x" tid tag
+      | Eff.Happens_after { tag } -> Fmt.pf ppf "client t%d HAPPENS_AFTER %#x" tid tag)

@@ -1,0 +1,45 @@
+(** Events observed by tools (Valgrind "skins").
+
+    The engine serialises the execution of all simulated threads and
+    emits one event per interesting operation, in execution order —
+    the single totally-ordered stream tools subscribe to. *)
+
+module Loc = Raceguard_util.Loc
+
+(** Synchronisation object reference (separate id spaces per kind). *)
+type sync_ref =
+  | Mutex of int
+  | Rwlock of int
+  | Cond of int
+  | Sem of int
+
+val pp_sync_ref : Format.formatter -> sync_ref -> unit
+
+type t =
+  | E_thread_start of { tid : int; name : string; parent : int option }
+  | E_thread_exit of { tid : int }
+  | E_spawn of { parent : int; child : int; loc : Loc.t }
+  | E_join of { joiner : int; joined : int; loc : Loc.t }
+  | E_read of { tid : int; addr : int; value : int; atomic : bool; loc : Loc.t }
+  | E_write of { tid : int; addr : int; value : int; atomic : bool; loc : Loc.t }
+      (** [atomic] marks the two halves of a [LOCK]-prefixed
+          read-modify-write (emitted as an E_read then an E_write with
+          no scheduling point in between) *)
+  | E_alloc of { tid : int; addr : int; len : int; loc : Loc.t }
+  | E_free of { tid : int; addr : int; len : int; loc : Loc.t }
+  | E_sync_create of { tid : int; sync : sync_ref; name : string; loc : Loc.t }
+  | E_acquire of { tid : int; lock : sync_ref; mode : Eff.mode; loc : Loc.t }
+      (** emitted at grant time; a plain mutex is always [Write_mode] *)
+  | E_release of { tid : int; lock : sync_ref; loc : Loc.t }
+  | E_cond_signal of { tid : int; cv : int; broadcast : bool; loc : Loc.t }
+  | E_cond_wait_pre of { tid : int; cv : int; m : int; loc : Loc.t }
+  | E_cond_wait_post of { tid : int; cv : int; m : int; loc : Loc.t }
+      (** after the mutex has been reacquired *)
+  | E_sem_post of { tid : int; sem : int; loc : Loc.t }
+  | E_sem_wait_post of { tid : int; sem : int; loc : Loc.t }
+  | E_client of { tid : int; req : Eff.client_request; loc : Loc.t }
+
+val tid : t -> int
+(** The thread an event is attributed to. *)
+
+val pp : Format.formatter -> t -> unit

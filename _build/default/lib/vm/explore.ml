@@ -1,0 +1,111 @@
+(** Systematic schedule exploration (a CHESS-style stateless searcher).
+
+    §4.3 of the paper observes that the lock-set algorithm's delayed
+    initialisation misses races on some schedules, and that "repeated
+    tests with different test data (resulting in different
+    interleavings) could help find such data-races".  Random reruns are
+    probabilistic; this module upgrades them to a {e systematic} search
+    over the scheduler's decision tree:
+
+    - every run is driven by a {!Engine.policy.Scripted} decision
+      prefix; the engine logs the branching structure it encountered;
+    - depth-first search enumerates alternative choices at each
+      nontrivial decision point, bounded by [max_depth] (only the first
+      k decision points are branched — the preemption-bounding idea)
+      and [max_runs].
+
+    The program under test must be deterministic apart from scheduling
+    (true for every VM program by construction, since even
+    {!Api.random_int} draws from the seeded VM RNG — but note the RNG
+    stream interleaves with scheduling, so programs using it may
+    explore a superset of schedules). *)
+
+type 'a outcome = {
+  found : 'a option;  (** the first witness the checker accepted *)
+  runs : int;  (** executions performed *)
+  exhausted : bool;
+      (** the whole depth-bounded tree was covered (no witness exists
+          within the first [max_depth] decision points) *)
+  depth_limited : bool;
+      (** some run had more decision points than [max_depth]: deeper
+          schedules were not enumerated *)
+  witness_script : int array option;  (** decision prefix reproducing it *)
+}
+
+(** [search ~max_depth ~max_runs instantiate] repeatedly calls
+    [instantiate ~policy] to build a fresh VM run; the returned pair is
+    (execute, check): [execute ()] runs the program and returns the
+    engine, [check engine] inspects it (and whatever tools the caller
+    attached) and returns a witness to stop the search.
+
+    The caller must attach fresh tools on every [instantiate] call. *)
+let search ?(max_depth = 32) ?(max_runs = 2000)
+    (instantiate : policy:Engine.policy -> (unit -> Engine.t) * (Engine.t -> 'a option)) :
+    'a outcome =
+  let runs = ref 0 in
+  let stack = ref [ [||] ] in
+  let result = ref None in
+  let runs_capped = ref false in
+  let depth_limited = ref false in
+  (try
+     while !stack <> [] do
+       match !stack with
+       | [] -> ()
+       | prefix :: rest ->
+           stack := rest;
+           if !runs >= max_runs then begin
+             runs_capped := true;
+             raise Exit
+           end;
+           incr runs;
+           let execute, check = instantiate ~policy:(Engine.Scripted prefix) in
+           let engine = execute () in
+           (match check engine with
+           | Some witness ->
+               result := Some (witness, prefix);
+               raise Exit
+           | None -> ());
+           (* expand: for every decision point at or after the prefix
+              (up to max_depth), push the untried alternatives.
+              Shallowest-first: flipping an early decision changes the
+              schedule most, so witnesses that hinge on "who goes
+              first" surface quickly (iterative-context-bounding
+              flavour). *)
+           let decisions = Array.of_list (Engine.decision_log engine) in
+           let from = Array.length prefix in
+           let upto = min (Array.length decisions) max_depth in
+           if Array.length decisions > max_depth then depth_limited := true;
+           let children = ref [] in
+           for i = upto - 1 downto from do
+             let chosen, arity = decisions.(i) in
+             for alt = arity - 1 downto 0 do
+               if alt <> chosen then begin
+                 let child = Array.make (i + 1) 0 in
+                 for j = 0 to i - 1 do
+                   child.(j) <- fst decisions.(j)
+                 done;
+                 child.(i) <- alt;
+                 children := child :: !children
+               end
+             done
+           done;
+           stack := !children @ !stack
+     done
+   with Exit -> ());
+  match !result with
+  | Some (witness, script) ->
+      {
+        found = Some witness;
+        runs = !runs;
+        exhausted = false;
+        depth_limited = !depth_limited;
+        witness_script = Some script;
+      }
+  | None ->
+      {
+        found = None;
+        runs = !runs;
+        exhausted = not !runs_capped;
+        depth_limited = !depth_limited;
+        witness_script = None;
+      }

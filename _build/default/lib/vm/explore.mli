@@ -1,0 +1,31 @@
+(** Systematic schedule exploration (a CHESS-style stateless searcher).
+
+    Upgrades §4.3's "repeated tests with different interleavings could
+    help find such data-races" from probabilistic reruns to a
+    depth-first search over the scheduler's decision tree, driven by
+    {!Engine.policy.Scripted} prefixes and the engine's
+    {!Engine.decision_log}.  Alternatives at early decision points are
+    tried first (iterative-context-bounding flavour). *)
+
+type 'a outcome = {
+  found : 'a option;  (** the first witness the checker accepted *)
+  runs : int;  (** executions performed *)
+  exhausted : bool;
+      (** the whole depth-bounded tree was covered (no witness exists
+          within the first [max_depth] decision points) *)
+  depth_limited : bool;
+      (** some run had more decision points than [max_depth] *)
+  witness_script : int array option;  (** decision prefix reproducing it *)
+}
+
+val search :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  (policy:Engine.policy -> (unit -> Engine.t) * (Engine.t -> 'a option)) ->
+  'a outcome
+(** [search instantiate] repeatedly calls [instantiate ~policy] to
+    build a fresh run: the returned [(execute, check)] pair runs the
+    program (returning the engine, so its decision log can be read) and
+    inspects the result — return [Some w] to stop the search with
+    witness [w].  The caller must attach fresh tools on every call.
+    Defaults: [max_depth = 32], [max_runs = 2000]. *)

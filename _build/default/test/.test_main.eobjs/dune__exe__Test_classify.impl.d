@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Fmt List Raceguard Raceguard_detector Raceguard_sip Raceguard_util String

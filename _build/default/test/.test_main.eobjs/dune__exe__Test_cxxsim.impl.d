@@ -1,0 +1,1 @@
+test/test_cxxsim.ml: Alcotest Int List Map Option Printexc QCheck2 QCheck_alcotest Raceguard_cxxsim Raceguard_util Raceguard_vm String

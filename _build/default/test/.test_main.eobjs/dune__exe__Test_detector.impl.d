@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Fun List Printexc QCheck2 QCheck_alcotest Raceguard Raceguard_cxxsim Raceguard_detector Raceguard_util Raceguard_vm

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List Printf Raceguard Raceguard_cxxsim Raceguard_detector Raceguard_sip String

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Fmt List Raceguard Raceguard_detector Raceguard_util Raceguard_vm

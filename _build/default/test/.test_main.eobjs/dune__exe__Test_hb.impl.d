@@ -1,0 +1,1 @@
+test/test_hb.ml: Alcotest Hashtbl List Printf QCheck2 QCheck_alcotest Raceguard Raceguard_detector Raceguard_sip Raceguard_util Raceguard_vm

@@ -1,0 +1,1 @@
+test/test_minicc.ml: Alcotest List Printexc Raceguard_detector Raceguard_minicc Raceguard_util Raceguard_vm String

@@ -1,0 +1,1 @@
+test/test_minicc_gen.ml: List Printf QCheck2 QCheck_alcotest Raceguard_minicc Raceguard_vm

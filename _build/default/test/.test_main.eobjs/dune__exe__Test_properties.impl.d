@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Fun Hashtbl List Printf QCheck2 QCheck_alcotest Raceguard_detector Raceguard_util Raceguard_vm

@@ -1,0 +1,1 @@
+test/test_sip.ml: Alcotest Char Fmt List Option Printexc Printf Raceguard_cxxsim Raceguard_detector Raceguard_sip Raceguard_util Raceguard_vm String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Int List QCheck2 QCheck_alcotest Raceguard_util Set String

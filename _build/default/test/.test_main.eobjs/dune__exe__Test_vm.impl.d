@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Fmt List Printexc Printf Raceguard_util Raceguard_vm

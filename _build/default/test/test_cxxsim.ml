@@ -1,0 +1,347 @@
+(* Tests for the C++ semantics simulation: object model layout and
+   destructor chains, copy-on-write strings, allocators, containers. *)
+
+module Vm = Raceguard_vm
+module Engine = Vm.Engine
+module Api = Vm.Api
+module Event = Vm.Event
+module Obj = Raceguard_cxxsim.Object_model
+module Refstring = Raceguard_cxxsim.Refstring
+module Allocator = Raceguard_cxxsim.Allocator
+module C = Raceguard_cxxsim.Containers
+module Loc = Raceguard_util.Loc
+
+let loc = Loc.v "cxx.cpp" "main" 1
+
+let run ?(seed = 1) ?tool f =
+  let vm = Engine.create ~config:{ Engine.default_config with seed } () in
+  (match tool with Some t -> Engine.add_tool vm t | None -> ());
+  let result = ref None in
+  let outcome = Engine.run vm (fun () -> result := Some (f ())) in
+  (match outcome.failures with
+  | [] -> ()
+  | (_, name, e) :: _ -> Alcotest.failf "thread %s raised %s" name (Printexc.to_string e));
+  (outcome, Option.get !result)
+
+(* a 3-level hierarchy for the layout tests *)
+let base = Obj.define ~name:"LBase" ~fields:[ "a"; "b" ] ()
+let mid = Obj.define ~parent:base ~name:"LMid" ~fields:[ "c" ] ()
+let derived = Obj.define ~parent:mid ~name:"LDerived" ~fields:[ "d"; "e" ] ()
+
+let test_layout () =
+  Alcotest.(check int) "size base" 3 (Obj.size base);
+  Alcotest.(check int) "size derived" 6 (Obj.size derived);
+  Alcotest.(check int) "offset of inherited field" 1 (Obj.field_offset derived "a");
+  Alcotest.(check int) "offset of mid field" 3 (Obj.field_offset derived "c");
+  Alcotest.(check int) "offset of own field" 5 (Obj.field_offset derived "e");
+  Alcotest.check_raises "unknown field"
+    (Invalid_argument "field \"z\" not found in class LDerived") (fun () ->
+      ignore (Obj.field_offset derived "z"))
+
+let test_field_roundtrip () =
+  let _, (va, ve) =
+    run (fun () ->
+        let o = Obj.new_ ~loc derived in
+        Obj.set ~loc derived o "a" 11;
+        Obj.set ~loc derived o "e" 55;
+        let r = (Obj.get ~loc derived o "a", Obj.get ~loc derived o "e") in
+        Obj.delete_ ~loc ~annotate:true derived o;
+        r)
+  in
+  Alcotest.(check int) "field a" 11 va;
+  Alcotest.(check int) "field e" 55 ve
+
+let test_vptr_writes_during_lifecycle () =
+  (* observe the construction and destruction vptr protocol through
+     the event stream: ctor chain base->derived, dtor derived->base *)
+  let vptr_writes = ref [] in
+  let obj_addr = ref (-1) in
+  let tool =
+    Vm.Tool.of_fn "vptr" (fun e ->
+        match e with
+        | Event.E_write { addr; value; loc = l; _ }
+          when addr = !obj_addr && String.length (Loc.func l) > 0 ->
+            vptr_writes := (Loc.func l, value) :: !vptr_writes
+        | _ -> ())
+  in
+  let _, () =
+    run ~tool (fun () ->
+        (* pre-reserve: the first alloc in this VM gives address 1 *)
+        obj_addr := 1;
+        let o = Obj.new_ ~loc derived in
+        assert (o = 1);
+        Obj.delete_ ~loc ~annotate:false derived o)
+  in
+  let funcs = List.rev_map fst !vptr_writes in
+  Alcotest.(check (list string)) "vptr protocol order"
+    [
+      "LBase::LBase"; "LMid::LMid"; "LDerived::LDerived";
+      "LDerived::~LDerived"; "LMid::~LMid"; "LBase::~LBase";
+    ]
+    funcs
+
+let test_delete_annotation_event () =
+  let destructs = ref [] in
+  let tool =
+    Vm.Tool.of_fn "destructs" (fun e ->
+        match e with
+        | Event.E_client { req = Vm.Eff.Destruct { addr; len }; _ } ->
+            destructs := (addr, len) :: !destructs
+        | _ -> ())
+  in
+  let _, o =
+    run ~tool (fun () ->
+        let o = Obj.new_ ~loc derived in
+        Obj.delete_ ~loc ~annotate:true derived o;
+        let o2 = Obj.new_ ~loc base in
+        Obj.delete_ ~loc ~annotate:false base o2;
+        o)
+  in
+  Alcotest.(check (list (pair int int))) "exactly the annotated delete, full size"
+    [ (o, 6) ] !destructs
+
+let test_delete_null_is_noop () =
+  let _, () = run (fun () -> Obj.delete_ ~loc ~annotate:true derived 0) in
+  ()
+
+(* --- refstring -------------------------------------------------------- *)
+
+let test_refstring_roundtrip () =
+  let _, s =
+    run (fun () ->
+        let r = Refstring.create ~loc "hello world" in
+        let s = Refstring.to_string r in
+        Refstring.release r;
+        s)
+  in
+  Alcotest.(check string) "contents survive" "hello world" s
+
+let test_refstring_sharing_and_cow () =
+  let _, (shared_before, s1, s2, shared_after) =
+    run (fun () ->
+        let a = Refstring.create ~loc "abc" in
+        let b = Refstring.copy a in
+        let shared_before = Refstring.is_shared a in
+        (* mutate through b: must unshare, leaving a intact *)
+        let b' = Refstring.set_char ~loc b 0 'X' in
+        let s1 = Refstring.to_string a and s2 = Refstring.to_string b' in
+        let shared_after = Refstring.is_shared a in
+        Refstring.release a;
+        Refstring.release b';
+        (shared_before, s1, s2, shared_after))
+  in
+  Alcotest.(check bool) "shared after copy" true shared_before;
+  Alcotest.(check string) "original untouched" "abc" s1;
+  Alcotest.(check string) "copy mutated" "Xbc" s2;
+  Alcotest.(check bool) "unshared after CoW" false shared_after
+
+let test_refstring_mutate_unshared_in_place () =
+  let _, (r, r') =
+    run (fun () ->
+        let r = Refstring.create ~loc "abc" in
+        let r' = Refstring.set_char ~loc r 1 'Z' in
+        let pair = (r, r') in
+        Refstring.release r';
+        pair)
+  in
+  Alcotest.(check int) "no copy when sole owner" r r'
+
+let test_refstring_release_frees () =
+  let frees = ref 0 in
+  let tool =
+    Vm.Tool.of_fn "frees" (fun e -> match e with Event.E_free _ -> incr frees | _ -> ())
+  in
+  let _, () =
+    run ~tool (fun () ->
+        let a = Refstring.create ~loc "x" in
+        let b = Refstring.copy a in
+        Refstring.release a;
+        (* still one owner: no free yet *)
+        assert (!frees = 0);
+        Refstring.release b)
+  in
+  Alcotest.(check int) "freed exactly once, at the last release" 1 !frees
+
+let test_refstring_equal_hash () =
+  let _, (eq1, eq2, h_eq) =
+    run (fun () ->
+        let a = Refstring.create ~loc "same" in
+        let b = Refstring.create ~loc "same" in
+        let c = Refstring.create ~loc "diff" in
+        let r = (Refstring.equal a b, Refstring.equal a c, Refstring.hash a = Refstring.hash b) in
+        Refstring.release a;
+        Refstring.release b;
+        Refstring.release c;
+        r)
+  in
+  Alcotest.(check bool) "equal contents" true eq1;
+  Alcotest.(check bool) "different contents" false eq2;
+  Alcotest.(check bool) "equal hashes" true h_eq
+
+(* --- allocator --------------------------------------------------------- *)
+
+let count_allocs tool_events f =
+  let allocs = ref 0 and frees = ref 0 in
+  let tool =
+    Vm.Tool.of_fn "allocs" (fun e ->
+        match e with
+        | Event.E_alloc _ -> incr allocs
+        | Event.E_free _ -> incr frees
+        | _ -> ())
+  in
+  ignore tool_events;
+  let _, () = run ~tool f in
+  (!allocs, !frees)
+
+let test_allocator_direct_visible () =
+  let allocs, frees =
+    count_allocs () (fun () ->
+        let a = Allocator.create Allocator.Direct in
+        let chunks = List.init 10 (fun _ -> Allocator.alloc a ~loc 3) in
+        List.iter (fun c -> Allocator.free a ~loc c 3) chunks)
+  in
+  Alcotest.(check int) "every chunk malloc'd" 10 allocs;
+  Alcotest.(check int) "every chunk freed" 10 frees
+
+let test_allocator_pooled_invisible () =
+  let allocs, frees =
+    count_allocs () (fun () ->
+        let a = Allocator.create Allocator.Pooled in
+        let c1 = Allocator.alloc a ~loc 3 in
+        Allocator.free a ~loc c1 3;
+        let c2 = Allocator.alloc a ~loc 3 in
+        (* LIFO reuse: the same chunk comes back with no VM events *)
+        assert (c1 = c2);
+        Allocator.free a ~loc c2 3)
+  in
+  Alcotest.(check int) "one slab allocation only" 1 allocs;
+  Alcotest.(check int) "no frees reach the VM" 0 frees
+
+let test_allocator_pool_stats () =
+  let _, (slabs, hits) =
+    run (fun () ->
+        let a = Allocator.create Allocator.Pooled in
+        let cs = List.init 5 (fun _ -> Allocator.alloc a ~loc 2) in
+        List.iter (fun c -> Allocator.free a ~loc c 2) cs;
+        let _ = List.init 5 (fun _ -> Allocator.alloc a ~loc 2) in
+        (Allocator.slabs_allocated a, Allocator.pool_hits a))
+  in
+  Alcotest.(check int) "one slab" 1 slabs;
+  Alcotest.(check bool) "reuse hits counted" true (hits >= 5)
+
+(* --- containers --------------------------------------------------------- *)
+
+let test_vector () =
+  let _, (size, front, back, sum) =
+    run (fun () ->
+        let a = Allocator.create Allocator.Direct in
+        let v = C.Vector.create a in
+        for i = 0 to 49 do
+          C.Vector.push_back v (i * 3)
+        done;
+        let sum = ref 0 in
+        C.Vector.iter v (fun x -> sum := !sum + x);
+        let r = (C.Vector.size v, C.Vector.get v 0, C.Vector.get v 49, !sum) in
+        C.Vector.destroy v;
+        r)
+  in
+  Alcotest.(check int) "size" 50 size;
+  Alcotest.(check int) "front" 0 front;
+  Alcotest.(check int) "back" 147 back;
+  Alcotest.(check int) "sum" (3 * 49 * 50 / 2) sum
+
+let test_map_basics () =
+  let _, (found, missing, size_after, removed, size_final) =
+    run (fun () ->
+        let a = Allocator.create Allocator.Direct in
+        let m = C.Map.create a in
+        C.Map.insert m 5 50;
+        C.Map.insert m 1 10;
+        C.Map.insert m 9 90;
+        C.Map.insert m 5 55;
+        (* overwrite *)
+        let found = C.Map.find m 5 in
+        let missing = C.Map.find m 7 in
+        let size_after = C.Map.size m in
+        let removed = C.Map.remove m 1 in
+        let size_final = C.Map.size m in
+        C.Map.destroy m;
+        (found, missing, size_after, removed, size_final))
+  in
+  Alcotest.(check (option int)) "find overwritten" (Some 55) found;
+  Alcotest.(check (option int)) "find missing" None missing;
+  Alcotest.(check int) "size counts keys once" 3 size_after;
+  Alcotest.(check bool) "remove existing" true removed;
+  Alcotest.(check int) "size after remove" 2 size_final
+
+let test_map_iter_sorted () =
+  let _, keys =
+    run (fun () ->
+        let a = Allocator.create Allocator.Direct in
+        let m = C.Map.create a in
+        List.iter (fun k -> C.Map.insert m k (k * 2)) [ 42; 7; 19; 3; 23 ];
+        let acc = ref [] in
+        C.Map.iter m (fun k _ -> acc := k :: !acc);
+        C.Map.destroy m;
+        List.rev !acc)
+  in
+  Alcotest.(check (list int)) "iteration in key order" [ 3; 7; 19; 23; 42 ] keys
+
+(* model-based property: Map behaves like Stdlib.Map *)
+module IM = Map.Make (Int)
+
+let qc_map_model =
+  let op_gen =
+    QCheck2.Gen.(
+      list_size (int_bound 40)
+        (triple (int_bound 2) (int_bound 10) (int_bound 100)))
+  in
+  QCheck2.Test.make ~name:"containers: Map models Stdlib.Map" ~count:100 op_gen
+    (fun ops ->
+      let _, ok =
+        run (fun () ->
+            let a = Allocator.create Allocator.Direct in
+            let m = C.Map.create a in
+            let model = ref IM.empty in
+            let ok = ref true in
+            List.iter
+              (fun (op, k, v) ->
+                match op with
+                | 0 ->
+                    C.Map.insert m k v;
+                    model := IM.add k v !model
+                | 1 ->
+                    let got = C.Map.remove m k in
+                    let expected = IM.mem k !model in
+                    if got <> expected then ok := false;
+                    model := IM.remove k !model
+                | _ ->
+                    if C.Map.find m k <> IM.find_opt k !model then ok := false)
+              ops;
+            if C.Map.size m <> IM.cardinal !model then ok := false;
+            C.Map.destroy m;
+            !ok)
+      in
+      ok)
+
+let suite =
+  ( "cxxsim",
+    [
+      Alcotest.test_case "object layout" `Quick test_layout;
+      Alcotest.test_case "field roundtrip" `Quick test_field_roundtrip;
+      Alcotest.test_case "vptr protocol" `Quick test_vptr_writes_during_lifecycle;
+      Alcotest.test_case "delete annotation event" `Quick test_delete_annotation_event;
+      Alcotest.test_case "delete null" `Quick test_delete_null_is_noop;
+      Alcotest.test_case "refstring roundtrip" `Quick test_refstring_roundtrip;
+      Alcotest.test_case "refstring CoW" `Quick test_refstring_sharing_and_cow;
+      Alcotest.test_case "refstring in-place mutate" `Quick test_refstring_mutate_unshared_in_place;
+      Alcotest.test_case "refstring free on last release" `Quick test_refstring_release_frees;
+      Alcotest.test_case "refstring equal/hash" `Quick test_refstring_equal_hash;
+      Alcotest.test_case "allocator direct" `Quick test_allocator_direct_visible;
+      Alcotest.test_case "allocator pooled" `Quick test_allocator_pooled_invisible;
+      Alcotest.test_case "allocator pool stats" `Quick test_allocator_pool_stats;
+      Alcotest.test_case "vector" `Quick test_vector;
+      Alcotest.test_case "map basics" `Quick test_map_basics;
+      Alcotest.test_case "map iter sorted" `Quick test_map_iter_sorted;
+      QCheck_alcotest.to_alcotest qc_map_model;
+    ] )

@@ -1,0 +1,19 @@
+(* Test aggregator: every suite registers here; run with `dune runtest`. *)
+
+let () =
+  Alcotest.run "raceguard"
+    [
+      Test_util.suite;
+      Test_vm.suite;
+      Test_detector.suite;
+      Test_hb.suite;
+      Test_cxxsim.suite;
+      Test_minicc.suite;
+      Test_minicc_gen.suite;
+      Test_sip.suite;
+      Test_sip_internals.suite;
+      Test_classify.suite;
+      Test_explore.suite;
+      Test_properties.suite;
+      Test_experiments.suite;
+    ]

@@ -1,0 +1,248 @@
+(* Property tests over randomly generated concurrent programs.
+
+   These pin the detector's two sides:
+   - quietness: programs that follow a consistent locking discipline
+     (or never share memory at all) produce zero reports under every
+     configuration with the state machine;
+   - sensitivity: programs with at least one unlocked write to memory
+     written by two threads are reported by pure Eraser (which is
+     schedule-independent for write/write because it never delays
+     lock-set initialisation);
+   - determinism: a (seed, program) pair always yields the same
+     reports. *)
+
+module Vm = Raceguard_vm
+module Engine = Vm.Engine
+module Api = Vm.Api
+module Det = Raceguard_detector
+module Loc = Raceguard_util.Loc
+
+let loc = Loc.v "gen.c" "main" 1
+
+(* a generated program: [n_threads] workers, [n_vars] shared words,
+   [n_locks] mutexes, and per-thread scripts of (var, action) *)
+type action = Read | Write | Locked_incr of int  (* lock index *)
+
+type gen_program = {
+  n_threads : int;
+  n_vars : int;
+  n_locks : int;
+  scripts : (int * action) list array;  (** per thread: (var, action) *)
+}
+
+let gen_action ~n_locks =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Read;
+        return Write;
+        map (fun l -> Locked_incr l) (int_bound (max 0 (n_locks - 1)));
+      ])
+
+let gen_program =
+  QCheck2.Gen.(
+    let* n_threads = int_range 2 4 in
+    let* n_vars = int_range 1 4 in
+    let* n_locks = int_range 1 3 in
+    let* scripts =
+      array_size (return n_threads)
+        (list_size (int_bound 12) (pair (int_bound (n_vars - 1)) (gen_action ~n_locks)))
+    in
+    return { n_threads; n_vars; n_locks; scripts })
+
+(* build a VM program from the description; [discipline] maps every
+   action on var v to "hold lock (v mod n_locks)" when true *)
+let build p ~discipline () =
+  let vars = Array.init p.n_vars (fun _ -> Api.alloc ~loc 1) in
+  let locks =
+    Array.init p.n_locks (fun i -> Api.Mutex.create ~loc (Printf.sprintf "L%d" i))
+  in
+  let lock_for v = locks.(v mod p.n_locks) in
+  let run_script script () =
+    List.iter
+      (fun (v, action) ->
+        let addr = vars.(v) in
+        let wloc = Loc.v "gen.c" "worker" (10 + v) in
+        match action with
+        | Read ->
+            if discipline then
+              Api.Mutex.with_lock ~loc:wloc (lock_for v) (fun () ->
+                  ignore (Api.read ~loc:wloc addr))
+            else ignore (Api.read ~loc:wloc addr)
+        | Write ->
+            if discipline then
+              Api.Mutex.with_lock ~loc:wloc (lock_for v) (fun () -> Api.write ~loc:wloc addr 1)
+            else Api.write ~loc:wloc addr 1
+        | Locked_incr l ->
+            let l = if discipline then lock_for v else locks.(l) in
+            Api.Mutex.with_lock ~loc:wloc l (fun () ->
+                Api.write ~loc:wloc addr (Api.read ~loc:wloc addr + 1)))
+      script
+  in
+  let tids =
+    Array.to_list
+      (Array.mapi
+         (fun i script -> Api.spawn ~loc ~name:(Printf.sprintf "w%d" i) (run_script script))
+         p.scripts)
+  in
+  List.iter (Api.join ~loc) tids
+
+let run_count ?(seed = 1) config program =
+  let vm = Engine.create ~config:{ Engine.default_config with seed } () in
+  let h = Det.Helgrind.create config in
+  Engine.add_tool vm (Det.Helgrind.tool h);
+  let outcome = Engine.run vm program in
+  assert (outcome.failures = []);
+  assert (outcome.deadlock = None);
+  Det.Helgrind.location_count h
+
+(* 1. quietness: consistent per-variable locking is never reported *)
+let qc_disciplined_is_silent =
+  QCheck2.Test.make ~name:"disciplined locking is never reported" ~count:120 gen_program
+    (fun p ->
+      List.for_all
+        (fun seed ->
+          run_count ~seed Det.Helgrind.hwlc_dr (build p ~discipline:true) = 0)
+        [ 1; 5 ])
+
+(* single-lock discipline must not deadlock and must stay silent even
+   for the original configuration *)
+let qc_disciplined_original_silent =
+  QCheck2.Test.make ~name:"disciplined locking silent under Original too" ~count:80 gen_program
+    (fun p -> run_count Det.Helgrind.original (build p ~discipline:true) = 0)
+
+(* 2. thread-local programs are silent: give each thread its own vars *)
+let qc_thread_local_is_silent =
+  QCheck2.Test.make ~name:"thread-local memory is never reported" ~count:80 gen_program
+    (fun p ->
+      let program () =
+        let run_script script () =
+          (* each worker allocates a private copy of everything *)
+          let vars = Array.init p.n_vars (fun _ -> Api.alloc ~loc 1) in
+          List.iter
+            (fun (v, action) ->
+              let addr = vars.(v) in
+              let wloc = Loc.v "gen.c" "worker" (10 + v) in
+              match action with
+              | Read -> ignore (Api.read ~loc:wloc addr)
+              | Write | Locked_incr _ -> Api.write ~loc:wloc addr 1)
+            script
+        in
+        let tids =
+          Array.to_list
+            (Array.mapi
+               (fun i script ->
+                 Api.spawn ~loc ~name:(Printf.sprintf "w%d" i) (run_script script))
+               p.scripts)
+        in
+        List.iter (Api.join ~loc) tids
+      in
+      run_count Det.Helgrind.hwlc_dr program = 0)
+
+(* 3. sensitivity: if some variable is written by two threads and at
+   least one write is unlocked, pure Eraser reports something *)
+let qc_pure_eraser_catches_unlocked_shared_writes =
+  QCheck2.Test.make ~name:"pure Eraser reports unlocked shared writes" ~count:120 gen_program
+    (fun p ->
+      let writers = Array.make p.n_vars [] in
+      let unlocked_write = Array.make p.n_vars false in
+      Array.iteri
+        (fun t script ->
+          List.iter
+            (fun (v, action) ->
+              match action with
+              | Write ->
+                  if not (List.mem t writers.(v)) then writers.(v) <- t :: writers.(v);
+                  unlocked_write.(v) <- true
+              | Locked_incr _ ->
+                  if not (List.mem t writers.(v)) then writers.(v) <- t :: writers.(v)
+              | Read -> ())
+            script)
+        p.scripts;
+      let has_racy_var =
+        Array.exists Fun.id
+          (Array.mapi (fun v w -> List.length writers.(v) >= 2 && w) unlocked_write)
+      in
+      QCheck2.assume has_racy_var;
+      run_count Det.Helgrind.pure_eraser (build p ~discipline:false) > 0)
+
+(* 4. determinism: same seed, same locations, across all configs at once *)
+let qc_deterministic =
+  QCheck2.Test.make ~name:"detection is deterministic per seed" ~count:60 gen_program
+    (fun p ->
+      let counts seed =
+        List.map
+          (fun c -> run_count ~seed c (build p ~discipline:false))
+          [ Det.Helgrind.original; Det.Helgrind.hwlc; Det.Helgrind.hwlc_dr ]
+      in
+      counts 3 = counts 3)
+
+(* 5. monotonicity of the improvements: on any program, HWLC+DR never
+   reports more locations than HWLC, which never reports more than
+   Original... this is NOT a theorem for arbitrary programs (the
+   configurations change state-machine trajectories), but it holds on
+   this action vocabulary where annotations only remove reports *)
+let qc_config_monotone =
+  QCheck2.Test.make ~name:"HWLC and DR only remove reports (this vocabulary)" ~count:80
+    gen_program (fun p ->
+      let program = build p ~discipline:false in
+      let o = run_count Det.Helgrind.original program in
+      let h = run_count Det.Helgrind.hwlc program in
+      let d = run_count Det.Helgrind.hwlc_dr program in
+      h <= o && d <= h)
+
+(* 6. trace well-formedness: on any generated program, the event
+   stream satisfies the structural invariants every tool relies on *)
+let qc_trace_invariants =
+  QCheck2.Test.make ~name:"event streams are well-formed" ~count:80 gen_program (fun p ->
+      let events = ref [] in
+      let vm = Engine.create ~config:{ Engine.default_config with seed = 2 } () in
+      Engine.add_tool vm (Vm.Tool.of_fn "rec" (fun e -> events := e :: !events));
+      let outcome = Engine.run vm (build p ~discipline:true) in
+      assert (outcome.failures = []);
+      let events = List.rev !events in
+      let ok = ref true in
+      (* every acquire is released by the same thread before it exits;
+         locks are never double-granted *)
+      let held : (Vm.Event.sync_ref * int) list ref = ref [] in
+      let started = Hashtbl.create 8 and exited = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Vm.Event.t) ->
+          (match e with
+          | Vm.Event.E_thread_start { tid; _ } -> Hashtbl.replace started tid ()
+          | Vm.Event.E_thread_exit { tid } ->
+              if List.exists (fun (_, t) -> t = tid) !held then ok := false;
+              Hashtbl.replace exited tid ()
+          | Vm.Event.E_acquire { tid; lock = Vm.Event.Mutex m; _ } ->
+              if List.mem_assoc (Vm.Event.Mutex m) !held then ok := false;
+              held := (Vm.Event.Mutex m, tid) :: !held
+          | Vm.Event.E_release { tid; lock = Vm.Event.Mutex m; _ } -> (
+              match List.assoc_opt (Vm.Event.Mutex m) !held with
+              | Some owner when owner = tid ->
+                  held := List.remove_assoc (Vm.Event.Mutex m) !held
+              | _ -> ok := false)
+          | Vm.Event.E_join { joined; _ } ->
+              (* a join event only fires for threads that exited *)
+              if not (Hashtbl.mem exited joined) then ok := false
+          | _ -> ());
+          (* no event is attributed to a thread that never started *)
+          let tid = Vm.Event.tid e in
+          match e with
+          | Vm.Event.E_thread_start _ -> ()
+          | _ -> if not (Hashtbl.mem started tid) then ok := false)
+        events;
+      (* everything released at the end *)
+      if !held <> [] then ok := false;
+      !ok)
+
+let suite =
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest qc_disciplined_is_silent;
+      QCheck_alcotest.to_alcotest qc_disciplined_original_silent;
+      QCheck_alcotest.to_alcotest qc_thread_local_is_silent;
+      QCheck_alcotest.to_alcotest qc_pure_eraser_catches_unlocked_shared_writes;
+      QCheck_alcotest.to_alcotest qc_deterministic;
+      QCheck_alcotest.to_alcotest qc_config_monotone;
+      QCheck_alcotest.to_alcotest qc_trace_invariants;
+    ] )
