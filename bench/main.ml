@@ -1,10 +1,23 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (the same rows/series the paper reports), then times the
-   detector configurations with Bechamel.
+   evaluation (the same rows/series the paper reports), times the
+   detector configurations with Bechamel, and measures detector
+   throughput (events/sec) as machine-readable JSON for CI.
 
-     dune exec bench/main.exe              # everything
-     dune exec bench/main.exe -- tables    # only the tables/figures
-     dune exec bench/main.exe -- timings   # only the Bechamel timings
+     dune exec bench/main.exe                  # tables + timings
+     dune exec bench/main.exe -- tables        # only the tables/figures
+     dune exec bench/main.exe -- timings       # only the Bechamel timings
+     dune exec bench/main.exe -- --json        # throughput suite -> BENCH_detector.json
+     dune exec bench/main.exe -- --json --quick
+     dune exec bench/main.exe -- --json --compare bench/baseline.json
+
+   Throughput flags:
+     --json               run the throughput suite and write JSON
+     --quick              CI smoke subset (fewer workloads, shorter quota)
+     --seed N             VM scheduling seed (default 7; echoed into the JSON)
+     --out FILE           output path (default BENCH_detector.json)
+     --compare FILE       compare against a committed baseline JSON;
+                          exit 2 on >threshold normalized-throughput regression
+     --max-regression PCT regression threshold in percent (default 25)
 
    Table/figure index (see DESIGN.md §4):
      Figure 6  -> "fig6"      Figure 5    -> "fig5"
@@ -20,6 +33,7 @@ module R = Raceguard
 module Det = Raceguard_detector
 module Vm = Raceguard_vm
 module Sip = Raceguard_sip
+module Loc = Raceguard_util.Loc
 
 let seed = 7
 
@@ -96,8 +110,9 @@ let tests =
     Test.make ~name:"fig4/minicc-pipeline" (Staged.stage minicc_pipeline);
   ]
 
+let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+
 let run_timings () =
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"raceguard" tests) in
@@ -128,7 +143,403 @@ let run_tables () =
       print_newline ())
     R.Experiments.all
 
+(* ------------------------------------------------------------------ *)
+(* Throughput suite: events/sec per detector config × workload, JSON   *)
+(* ------------------------------------------------------------------ *)
+
+type workload = {
+  w_name : string;
+  w_run : seed:int -> Vm.Tool.t list -> unit;
+      (** one full run of the workload with the given tools attached;
+          everything downstream of [seed] is deterministic *)
+}
+
+let scenario_workload name f =
+  {
+    w_name = name;
+    w_run =
+      (fun ~seed tools ->
+        let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed } () in
+        List.iter (Vm.Engine.add_tool vm) tools;
+        ignore (Vm.Engine.run vm f));
+  }
+
+let sip_workload tc =
+  {
+    w_name = String.lowercase_ascii tc.Sip.Workload.tc_name;
+    w_run =
+      (fun ~seed tools ->
+        let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed } () in
+        List.iter (Vm.Engine.add_tool vm) tools;
+        let transport = Sip.Transport.create () in
+        ignore
+          (Vm.Engine.run vm (fun () ->
+               ignore
+                 (Sip.Workload.run_test_case ~transport
+                    ~server_config:R.Runner.default.server tc ()))));
+  }
+
+let workloads ~quick =
+  let micro =
+    if quick then
+      [
+        scenario_workload "micro-contention" (fun () ->
+            R.Scenarios.high_contention ~iters:120 ());
+        scenario_workload "micro-readshared" (fun () -> R.Scenarios.read_shared ~iters:200 ());
+      ]
+    else
+      [
+        scenario_workload "micro-contention" (fun () -> R.Scenarios.high_contention ());
+        scenario_workload "micro-readshared" (fun () -> R.Scenarios.read_shared ());
+      ]
+  in
+  let sip =
+    if quick then [ Sip.Workload.t2; Sip.Workload.t3 ] else Sip.Workload.all_test_cases
+  in
+  List.map sip_workload sip @ micro
+
+(* one detector "subject": fresh per timed run; the audit accessors
+   read back report counts and dedup signatures for fidelity checks *)
+type subject = {
+  s_name : string;
+  s_make : unit -> Vm.Tool.t list * (unit -> int) * (unit -> string list);
+}
+
+let sig_string (r : Det.Report.t) =
+  let kind, frames = Det.Report.signature r in
+  Fmt.str "%a@%s" Det.Report.pp_kind kind
+    (String.concat ";" (List.map (fun l -> Fmt.str "%a" Loc.pp l) frames))
+
+let sigs_of locations = List.map (fun (r, _) -> sig_string r) locations
+
+let mk_helgrind cfg () =
+  let h = Det.Helgrind.create cfg in
+  ( [ Det.Helgrind.tool h ],
+    (fun () -> Det.Helgrind.location_count h),
+    fun () -> sigs_of (Det.Helgrind.locations h) )
+
+let subjects =
+  [
+    { s_name = "no-tool"; s_make = (fun () -> ([], (fun () -> 0), fun () -> [])) };
+    { s_name = "helgrind-original"; s_make = mk_helgrind Det.Helgrind.original };
+    { s_name = "helgrind-hwlc"; s_make = mk_helgrind Det.Helgrind.hwlc };
+    { s_name = "helgrind-hwlc+dr"; s_make = mk_helgrind Det.Helgrind.hwlc_dr };
+    { s_name = "eraser-pure"; s_make = mk_helgrind Det.Helgrind.pure_eraser };
+    {
+      s_name = "djit";
+      s_make =
+        (fun () ->
+          let d = Det.Djit.create () in
+          ( [ Det.Djit.tool d ],
+            (fun () -> Det.Djit.location_count d),
+            fun () -> sigs_of (Det.Djit.locations d) ));
+    };
+    {
+      s_name = "hybrid";
+      s_make =
+        (fun () ->
+          let h = Det.Hybrid.create () in
+          ( [ Det.Hybrid.tool h ],
+            (fun () -> Det.Hybrid.location_count h),
+            fun () -> sigs_of (Det.Hybrid.locations h) ));
+    };
+    {
+      s_name = "racetrack";
+      s_make =
+        (fun () ->
+          let r = Det.Racetrack.create () in
+          ( [ Det.Racetrack.tool r ],
+            (fun () -> Det.Racetrack.location_count r),
+            fun () -> sigs_of (Det.Racetrack.locations r) ));
+    };
+  ]
+
+type row = {
+  r_workload : string;
+  r_config : string;
+  r_events : int;  (** VM events emitted by one run (seed-deterministic) *)
+  r_reports : int;  (** deduplicated race locations *)
+  r_sig_digest : string;  (** MD5 over the sorted dedup signatures *)
+  r_ns_per_run : float;
+  r_events_per_sec : float;
+  r_minor_words_per_event : float;
+  r_normalized : float;  (** events/sec relative to no-tool on this workload *)
+}
+
+let composite w s = w.w_name ^ "::" ^ s.s_name
+
+(* Analyze.all keys carry the grouped-test prefix; match on suffix. *)
+let estimate tbl composite =
+  Hashtbl.fold
+    (fun name ols_result acc ->
+      if name = composite || String.ends_with ~suffix:("/" ^ composite) name then
+        match Analyze.OLS.estimates ols_result with Some (e :: _) -> Some e | _ -> acc
+      else acc)
+    tbl None
+
+let count_events w ~seed =
+  let n = ref 0 in
+  w.w_run ~seed [ Vm.Tool.of_fn "count" (fun _ -> incr n) ];
+  !n
+
+let digest_sigs sigs = Digest.to_hex (Digest.string (String.concat "\n" (List.sort compare sigs)))
+
+let run_throughput ~quick ~seed =
+  let workloads = workloads ~quick in
+  let quota, limit = if quick then (0.15, 60) else (0.5, 200) in
+  (* audit pass: one untimed run per subject×workload for event counts,
+     report counts and dedup signatures *)
+  let audits =
+    List.map
+      (fun w ->
+        let events = count_events w ~seed in
+        let per_subject =
+          List.map
+            (fun s ->
+              let tools, n_reports, signatures = s.s_make () in
+              w.w_run ~seed tools;
+              (s.s_name, (n_reports (), digest_sigs (signatures ()))))
+            subjects
+        in
+        (w.w_name, (events, per_subject)))
+      workloads
+  in
+  (* timed pass: bechamel over every subject×workload *)
+  let tests =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun s ->
+            Test.make ~name:(composite w s)
+              (Staged.stage (fun () ->
+                   let tools, _, _ = s.s_make () in
+                   w.w_run ~seed tools)))
+          subjects)
+      workloads
+  in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock; minor_allocated ]
+      (Test.make_grouped ~name:"throughput" tests)
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let rows =
+    List.concat_map
+      (fun w ->
+        let events, per_subject = List.assoc w.w_name audits in
+        List.map
+          (fun s ->
+            let key = composite w s in
+            let ns = Option.value ~default:nan (estimate times key) in
+            let words = Option.value ~default:nan (estimate allocs key) in
+            let eps =
+              if Float.is_nan ns || ns <= 0. then 0. else float_of_int events /. (ns /. 1e9)
+            in
+            let n_reports, digest = List.assoc s.s_name per_subject in
+            {
+              r_workload = w.w_name;
+              r_config = s.s_name;
+              r_events = events;
+              r_reports = n_reports;
+              r_sig_digest = digest;
+              r_ns_per_run = ns;
+              r_events_per_sec = eps;
+              r_minor_words_per_event =
+                (if Float.is_nan words || events = 0 then 0.
+                 else words /. float_of_int events);
+              r_normalized = 0.;  (* filled below *)
+            })
+          subjects)
+      workloads
+  in
+  List.map
+    (fun r ->
+      let base =
+        List.find_opt
+          (fun b -> b.r_workload = r.r_workload && b.r_config = "no-tool")
+          rows
+      in
+      let normalized =
+        match base with
+        | Some b when b.r_events_per_sec > 0. -> r.r_events_per_sec /. b.r_events_per_sec
+        | _ -> 0.
+      in
+      { r with r_normalized = normalized })
+    rows
+
+(* --- JSON output --------------------------------------------------- *)
+
+let fl x = if Float.is_nan x || Float.is_integer x then Printf.sprintf "%.1f" x else Printf.sprintf "%.6g" x
+
+let row_json r =
+  Printf.sprintf
+    "{\"workload\": \"%s\", \"config\": \"%s\", \"events\": %d, \"reports\": %d, \
+     \"sig_digest\": \"%s\", \"ns_per_run\": %s, \"events_per_sec\": %s, \
+     \"minor_words_per_event\": %s, \"normalized\": %s}"
+    r.r_workload r.r_config r.r_events r.r_reports r.r_sig_digest (fl r.r_ns_per_run)
+    (fl r.r_events_per_sec) (fl r.r_minor_words_per_event) (fl r.r_normalized)
+
+let write_json ~out ~quick ~seed rows =
+  let oc = open_out out in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"raceguard-bench/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r -> Printf.fprintf oc "    %s%s\n" (row_json r) (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let print_summary rows =
+  Printf.printf "%-18s %-18s %10s %12s %8s %8s\n" "workload" "config" "events"
+    "events/sec" "norm" "reports";
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %-18s %10d %12.0f %8.3f %8d\n" r.r_workload r.r_config r.r_events
+        r.r_events_per_sec r.r_normalized r.r_reports)
+    rows
+
+(* --- baseline comparison ------------------------------------------- *)
+
+(* minimal field extraction from the one-object-per-line JSON we emit *)
+let json_str_field line key =
+  let pat = "\"" ^ key ^ "\": \"" in
+  match String.index_opt line '{' with
+  | None -> None
+  | Some _ -> (
+      let rec find i =
+        if i + String.length pat > String.length line then None
+        else if String.sub line i (String.length pat) = pat then Some (i + String.length pat)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some start ->
+          let stop = String.index_from line start '"' in
+          Some (String.sub line start (stop - start)))
+
+let json_num_field line key =
+  let pat = "\"" ^ key ^ "\": " in
+  let rec find i =
+    if i + String.length pat > String.length line then None
+    else if String.sub line i (String.length pat) = pat then Some (i + String.length pat)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length line
+        && (match line.[!stop] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | 'n' | 'a' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+
+let load_baseline file =
+  let ic = open_in file in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match (json_str_field line "workload", json_str_field line "config") with
+       | Some w, Some c ->
+           let norm = Option.value ~default:0. (json_num_field line "normalized") in
+           let eps = Option.value ~default:0. (json_num_field line "events_per_sec") in
+           rows := ((w, c), (norm, eps)) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  !rows
+
+let compare_baseline ~threshold_pct ~baseline rows =
+  let base = load_baseline baseline in
+  let tolerance = 1. -. (threshold_pct /. 100.) in
+  let regressions =
+    List.filter_map
+      (fun r ->
+        if r.r_config = "no-tool" then None
+        else
+          match List.assoc_opt (r.r_workload, r.r_config) base with
+          | None | Some (0., _) -> None
+          | Some (b_norm, _) ->
+              (* normalized throughput is machine-speed independent:
+                 detector events/sec relative to the no-tool run of the
+                 same binary on the same machine *)
+              let ratio = r.r_normalized /. b_norm in
+              if ratio < tolerance then Some (r, b_norm, ratio) else None)
+      rows
+  in
+  (match regressions with
+  | [] -> Printf.printf "baseline comparison OK (threshold %.0f%%, %s)\n" threshold_pct baseline
+  | rs ->
+      Printf.printf "PERF REGRESSION vs %s (threshold %.0f%%):\n" baseline threshold_pct;
+      List.iter
+        (fun (r, b_norm, ratio) ->
+          Printf.printf "  %s/%s: normalized %.3f vs baseline %.3f (%.0f%% of baseline)\n"
+            r.r_workload r.r_config r.r_normalized b_norm (ratio *. 100.))
+        rs);
+  regressions = []
+
+(* ------------------------------------------------------------------ *)
+
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if what = "tables" || what = "all" then run_tables ();
-  if what = "timings" || what = "all" then run_timings ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json_mode = ref false
+  and quick = ref false
+  and seed_ref = ref seed
+  and out = ref "BENCH_detector.json"
+  and baseline = ref None
+  and threshold = ref 25.
+  and positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json_mode := true;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--seed" :: n :: rest ->
+        seed_ref := int_of_string n;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := f;
+        parse rest
+    | "--compare" :: f :: rest ->
+        json_mode := true;
+        baseline := Some f;
+        parse rest
+    | "--max-regression" :: p :: rest ->
+        threshold := float_of_string p;
+        parse rest
+    | x :: rest ->
+        positional := x :: !positional;
+        parse rest
+  in
+  parse args;
+  if !json_mode then begin
+    Printf.printf "throughput suite: mode=%s seed=%d\n%!"
+      (if !quick then "quick" else "full")
+      !seed_ref;
+    let rows = run_throughput ~quick:!quick ~seed:!seed_ref in
+    write_json ~out:!out ~quick:!quick ~seed:!seed_ref rows;
+    print_summary rows;
+    Printf.printf "wrote %s\n" !out;
+    match !baseline with
+    | Some b -> if not (compare_baseline ~threshold_pct:!threshold ~baseline:b rows) then exit 2
+    | None -> ()
+  end
+  else begin
+    let what = match !positional with [ x ] -> x | _ -> "all" in
+    if what = "tables" || what = "all" then run_tables ();
+    if what = "timings" || what = "all" then run_timings ()
+  end

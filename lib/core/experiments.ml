@@ -616,6 +616,25 @@ let perf ?(seed = default_seed) ?(reps = 3) () =
   let native_t, _ = time_run (fun () -> native_analogue ()) in
   let bare = run_with [] in
   let helgrind = run_with [ ("HWLC+DR", Det.Helgrind.hwlc_dr) ] in
+  let helgrind_slow =
+    run_with [ ("HWLC+DR", { Det.Helgrind.hwlc_dr with fast_path = false }) ]
+  in
+  (* hot-path counters from one instrumented run: fast-path hit rate
+     and the state of the process-global lockset intern/memo tables *)
+  let checked, fast_hits =
+    let h = Det.Helgrind.create Det.Helgrind.hwlc_dr in
+    let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed } () in
+    Vm.Engine.add_tool vm (Det.Helgrind.tool h);
+    let transport = Sip.Transport.create () in
+    let _ =
+      Vm.Engine.run vm (fun () ->
+          ignore
+            (Sip.Workload.run_test_case ~transport ~server_config:Runner.default.server
+               Sip.Workload.t2 ()))
+    in
+    (Det.Helgrind.accesses_checked h, Det.Helgrind.fast_path_hits h)
+  in
+  let interned, memo_entries, memo_hits, memo_misses = Det.Lockset.stats () in
   let all3 =
     run_with
       [
@@ -649,15 +668,22 @@ let perf ?(seed = default_seed) ?(reps = 3) () =
      native analogue (no VM):          %8.4f s   (reference computation)\n\
      VM, no tools:                     %8.4f s   (x%.1f vs bare VM)\n\
      VM + Helgrind (HWLC+DR):          %8.4f s   (x%.2f vs bare VM)\n\
+     ... with the fast path disabled:  %8.4f s   (x%.2f vs bare VM)\n\
      VM + 3 configurations at once:    %8.4f s   (x%.2f vs bare VM)\n\n\
+     hot path: %d/%d accesses (%.1f%%) answered by the shadow stamp;\n\
+     lockset intern table: %d sets, %d memoised intersections\n\
+     (%d hits / %d misses)\n\n\
      offline mode: record %d events (~%d kwords of log), then replay:\n\
      record %.4f s + replay %.4f s; replay found %d locations\n\n\
      Paper context: Valgrind alone slows execution 8-10x, Helgrind on top\n\
      20-30x.  Our VM's per-op cost replaces binary translation, so the\n\
      bare-VM factor differs, but the detector-on-top overhead and the\n\
      online/offline trade-off reproduce.\n"
-    reps native_t bare 1.0 helgrind (helgrind /. bare) all3 (all3 /. bare)
-    rec_len (rec_words / 1024) offline_record_t replay_t offline_locs
+    reps native_t bare 1.0 helgrind (helgrind /. bare) helgrind_slow
+    (helgrind_slow /. bare) all3 (all3 /. bare) fast_hits checked
+    (100.0 *. float_of_int fast_hits /. float_of_int (max 1 checked))
+    interned memo_entries memo_hits memo_misses rec_len (rec_words / 1024)
+    offline_record_t replay_t offline_locs
 
 (* ------------------------------------------------------------------ *)
 (* E11 — deadlock detection                                            *)

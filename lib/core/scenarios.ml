@@ -111,6 +111,63 @@ let handoff_pool () =
   Api.free ~loc:(lc "main" 25) data;
   Api.join ~loc:(lc "main" 26) tid
 
+(** Synthetic high-contention microbenchmark: [threads] workers hammer
+    [words] shared words, each word consistently guarded by one of
+    [locks] striped mutexes, plus a bus-locked reference counter per
+    iteration.  Disciplined, so every detector stays silent — the
+    shadow state sits in its steady state (Shared-Modified with a
+    stable candidate set) and the run is one long detector hot path. *)
+let high_contention ?(threads = 4) ?(iters = 300) ?(words = 8) ?(locks = 2) () =
+  let lc f line = Loc.v "contention.cpp" f line in
+  let base = Api.alloc ~loc:(lc "main" 3) words in
+  let refc = Api.alloc ~loc:(lc "main" 4) 1 in
+  let stripes =
+    Array.init locks (fun i -> Api.Mutex.create ~loc:(lc "main" 5) (Printf.sprintf "stripe%d" i))
+  in
+  for i = 0 to words - 1 do
+    Api.write ~loc:(lc "main" 7) (base + i) 0
+  done;
+  Api.write ~loc:(lc "main" 8) refc 1;
+  let worker k () =
+    Api.with_frame (lc "hammer" 11) @@ fun () ->
+    for i = 0 to iters - 1 do
+      let w = (k + i) mod words in
+      Api.Mutex.with_lock ~loc:(lc "hammer" 14) stripes.(w mod locks) (fun () ->
+          let v = Api.read ~loc:(lc "hammer" 15) (base + w) in
+          Api.write ~loc:(lc "hammer" 16) (base + w) (v + 1));
+      ignore (Api.atomic_incr ~loc:(lc "hammer" 17) refc);
+      ignore (Api.atomic_decr ~loc:(lc "hammer" 18) refc)
+    done
+  in
+  let tids =
+    List.init threads (fun k ->
+        Api.spawn ~loc:(lc "main" 21) ~name:(Printf.sprintf "hammer%d" k) (worker k))
+  in
+  List.iter (Api.join ~loc:(lc "main" 22)) tids
+
+(** Read-mostly steady state: initialise once, then [threads] readers
+    sweep the words without locks — the Shared-RO fast path's best
+    case (and the pattern behind the paper's read-shared tables). *)
+let read_shared ?(threads = 4) ?(iters = 500) ?(words = 16) () =
+  let lc f line = Loc.v "readshared.cpp" f line in
+  let base = Api.alloc ~loc:(lc "main" 3) words in
+  for i = 0 to words - 1 do
+    Api.write ~loc:(lc "main" 5) (base + i) (i * 3)
+  done;
+  let reader k () =
+    Api.with_frame (lc "reader" 8) @@ fun () ->
+    let acc = ref 0 in
+    for i = 0 to iters - 1 do
+      acc := !acc + Api.read ~loc:(lc "reader" 11) (base + ((k + i) mod words))
+    done;
+    ignore !acc
+  in
+  let tids =
+    List.init threads (fun k ->
+        Api.spawn ~loc:(lc "main" 14) ~name:(Printf.sprintf "reader%d" k) (reader k))
+  in
+  List.iter (Api.join ~loc:(lc "main" 15)) tids
+
 (** Lock-order inversion that does not necessarily deadlock at runtime
     (the predictive detector must still flag it), plus a knob to force
     the actual deadlock. *)

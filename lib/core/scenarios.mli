@@ -20,6 +20,16 @@ val handoff_pool : unit -> unit
     honoured (the queue and the post/wait handback are annotated, as in
     the instrumented build). *)
 
+val high_contention :
+  ?threads:int -> ?iters:int -> ?words:int -> ?locks:int -> unit -> unit
+(** Synthetic detector-hot-path microbenchmark: striped-mutex hammering
+    of shared words plus a bus-locked refcount — disciplined (zero
+    reports), Shared-Modified steady state. *)
+
+val read_shared : ?threads:int -> ?iters:int -> ?words:int -> unit -> unit
+(** Initialise once, then lock-free concurrent readers — the Shared-RO
+    steady state. *)
+
 val lock_order_inversion : force_deadlock:bool -> unit -> unit
 (** Two locks taken in opposite orders; [force_deadlock] arranges the
     overlap so the run actually deadlocks. *)

@@ -29,7 +29,16 @@
     runs the naive textbook Eraser (lock-set refined from the very
     first access, warnings whenever it empties) — the configuration the
     paper calls "too many false positives" for initialisation and
-    read-shared data. *)
+    read-shared data.
+
+    {b Hot path.}  Lock-sets are hash-consed ({!Lockset}), the
+    per-thread effective sets are maintained incrementally on
+    acquire/release ({!Held_locks}), and each shadow word remembers the
+    thread / segment / lock-sets of its last access: when nothing
+    relevant changed since, the state-machine step is provably a no-op
+    (it cannot warn and rewrites the state with an identical value), so
+    [fast_path] short-circuits it.  Reports are byte-identical with the
+    fast path on or off. *)
 
 module Loc = Raceguard_util.Loc
 module Vm = Raceguard_vm
@@ -52,6 +61,9 @@ type config = {
           future work ("higher level constructs for synchronization
           that the lock-set algorithm is unaware of"), implemented as
           annotation-induced thread-segment edges *)
+  fast_path : bool;
+      (** short-circuit the state machine when a word's steady state
+          provably cannot change or warn; never alters reports *)
 }
 
 (** The three configurations evaluated in Figures 5/6. *)
@@ -64,6 +76,7 @@ let original =
     eraser_states = true;
     report_reads = true;
     hb_annotations = false;
+    fast_path = true;
   }
 
 let hwlc = { original with bus_model = Rw_lock; track_rwlocks = true }
@@ -106,19 +119,32 @@ let pp_state ~name_of ppf = function
   | Shared_ro ls -> Fmt.pf ppf "shared RO, %a" (Lockset.pp ~name_of) ls
   | Shared_mod ls -> Fmt.pf ppf "shared modified, %a" (Lockset.pp ~name_of) ls
 
-type thread_locks = { mutable held_any : int list; mutable held_write : int list }
-(** uids currently held, by mode (unsorted association-free lists;
-    locks are few) *)
+type cell = {
+  mutable st : state;
+  (* fast-path stamp: the interned effective sets the last slow-path
+     access applied (physical equality suffices — sets are interned).
+     Thread-agnostic on purpose: the Shared transitions never look at
+     the accessing thread, and under contention different threads
+     holding the same lock produce the same interned sets.
+     [f_any = Lockset.top] invalidates the stamp (an effective set is
+     never ⊤). *)
+  mutable f_any : Lockset.t;
+  mutable f_write : Lockset.t;
+  mutable f_wrote : bool;  (** last stamped access was a write *)
+}
 
 type t = {
   config : config;
-  shadow : (int, state ref) Hashtbl.t;  (** word address -> state *)
-  locks : (int, thread_locks) Hashtbl.t;  (** tid -> held locks *)
+  mutable shadow : cell array;
+      (** indexed by word address — the VM allocator hands out dense
+          word indices, so direct mapping beats hashing *)
+  mutable locks : Held_locks.t array;  (** indexed by tid *)
   segments : Segments.t;
   lock_names : (int, string) Hashtbl.t;  (** uid -> name *)
   collector : Report.collector;
   mutable benign : (int * int) list;
   mutable accesses_checked : int;
+  mutable fast_hits : int;
   mutable warning_filter : (tid:int -> addr:int -> kind:Report.kind -> bool) option;
       (** when set, a warning is only recorded if the filter agrees —
           the composition hook used by the {!Hybrid} detector *)
@@ -127,13 +153,14 @@ type t = {
 let create ?(suppressions = []) config =
   {
     config;
-    shadow = Hashtbl.create 65536;
-    locks = Hashtbl.create 64;
+    shadow = [||];
+    locks = [||];
     segments = Segments.create ();
     lock_names = Hashtbl.create 64;
     collector = Report.collector ~suppressions ();
     benign = [];
     accesses_checked = 0;
+    fast_hits = 0;
     warning_filter = None;
   }
 
@@ -144,6 +171,7 @@ let locations t = Report.locations t.collector
 let location_count t = Report.location_count t.collector
 let collector t = t.collector
 let accesses_checked t = t.accesses_checked
+let fast_path_hits t = t.fast_hits
 
 let name_of t uid =
   match Hashtbl.find_opt t.lock_names uid with
@@ -151,38 +179,32 @@ let name_of t uid =
   | None -> Printf.sprintf "lock#%d" uid
 
 let thread_locks t tid =
-  match Hashtbl.find_opt t.locks tid with
-  | Some l -> l
-  | None ->
-      let l = { held_any = []; held_write = [] } in
-      Hashtbl.replace t.locks tid l;
-      l
+  let n = Array.length t.locks in
+  if tid >= n then begin
+    let a =
+      Array.init
+        (max 16 (max (2 * n) (tid + 1)))
+        (fun i -> if i < n then Array.unsafe_get t.locks i else Held_locks.create ())
+    in
+    t.locks <- a
+  end;
+  Array.unsafe_get t.locks tid
+
+let fresh_cell () = { st = Virgin; f_any = Lockset.top; f_write = Lockset.top; f_wrote = false }
 
 let cell t addr =
-  match Hashtbl.find_opt t.shadow addr with
-  | Some c -> c
-  | None ->
-      let c = ref Virgin in
-      Hashtbl.replace t.shadow addr c;
-      c
+  let n = Array.length t.shadow in
+  if addr >= n then begin
+    let a =
+      Array.init
+        (max 4096 (max (2 * n) (addr + 1)))
+        (fun i -> if i < n then Array.unsafe_get t.shadow i else fresh_cell ())
+    in
+    t.shadow <- a
+  end;
+  Array.unsafe_get t.shadow addr
 
 let is_benign t addr = List.exists (fun (base, len) -> addr >= base && addr < base + len) t.benign
-
-(* Effective lock-sets for one access, including the virtual bus lock
-   according to the configured model. *)
-let effective_sets t tid ~atomic =
-  let l = thread_locks t tid in
-  let with_bus cond set = if cond then Lock_id.bus :: set else set in
-  let any =
-    match t.config.bus_model with
-    | Rw_lock ->
-        (* every read access implicitly holds the bus lock in read
-           mode; LOCK-prefixed accesses hold it too *)
-        with_bus true l.held_any
-    | Locked_mutex -> with_bus atomic l.held_any
-  in
-  let write = with_bus atomic l.held_write in
-  (Lockset.of_list any, Lockset.of_list write)
 
 (* ------------------------------------------------------------------ *)
 (* The per-access state machine                                        *)
@@ -216,86 +238,113 @@ let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc ~prev_state =
       clock = ctx.clock ();
     }
 
+(* Fast-path soundness: the stamp records the interned effective sets
+   the last (slow-path) access to this word applied, so when the stamp
+   matches the current access the word's candidate set [ls] already
+   satisfies [ls ⊆ any_set] (and, after a stamped write,
+   [ls ⊆ write_set] — write-sets are always subsets of any-sets).
+   Intersection is then the identity, and requiring a non-empty [ls] in
+   Shared-Modified rules out the one case where the slow path would
+   record another warning occurrence.  The skipped step would rewrite
+   the state with an identical value and emit nothing.  The Shared
+   transitions never look at the accessing thread or segment, so the
+   stamp deliberately ignores both — under contention, threads holding
+   the same lock share the same interned sets and all hit. *)
 let check_access t ctx ~access ~tid ~addr ~atomic ~loc =
   t.accesses_checked <- t.accesses_checked + 1;
   let c = cell t addr in
-  let prev = !c in
-  let any_set, write_set = effective_sets t tid ~atomic in
-  let seg = Segments.seg_of t.segments tid in
-  let warn kind ls =
-    if
-      Lockset.is_empty ls
-      && (not (is_benign t addr))
-      && (match t.warning_filter with None -> true | Some f -> f ~tid ~addr ~kind)
-    then report t ctx ~kind ~tid ~addr ~loc ~prev_state:prev
-  in
-  if not t.config.eraser_states then begin
-    (* pure Eraser: C(v) starts at Top and is refined by every access *)
-    let ls_prev = match prev with Shared_mod ls -> ls | _ -> Lockset.top in
-    let ls =
-      match access with
-      | Read -> Lockset.inter ls_prev any_set
-      | Write -> Lockset.inter ls_prev write_set
-    in
-    (match access with
-    | Read -> warn Report.Race_read ls
-    | Write -> warn Report.Race_write ls);
-    c := Shared_mod ls
-  end
-  else
-    match prev with
-    | Virgin -> c := Exclusive { o_tid = tid; o_seg = seg }
-    | Exclusive o ->
-        if o.o_tid = tid then c := Exclusive { o_tid = tid; o_seg = seg }
-        else if t.config.thread_segments && Segments.happens_before t.segments o.o_seg seg then
-          (* ownership passes to the later segment; stays exclusive *)
-          c := Exclusive { o_tid = tid; o_seg = seg }
-        else begin
-          (* second thread: initialise the candidate set with the locks
-             active at this access and start checking *)
-          match access with
-          | Read -> c := Shared_ro any_set
-          | Write ->
-              warn Report.Race_write write_set;
-              c := Shared_mod write_set
-        end
-    | Shared_ro ls -> (
-        match access with
-        | Read -> c := Shared_ro (Lockset.inter ls any_set)
-        | Write ->
-            let ls = Lockset.inter ls write_set in
-            warn Report.Race_write ls;
-            c := Shared_mod ls)
-    | Shared_mod ls -> (
-        match access with
-        | Read ->
-            let ls = Lockset.inter ls any_set in
-            if t.config.report_reads then warn Report.Race_read ls;
-            c := Shared_mod ls
-        | Write ->
-            let ls = Lockset.inter ls write_set in
-            warn Report.Race_write ls;
-            c := Shared_mod ls)
+  match c.st with
+  | Exclusive o
+    when t.config.fast_path && o.o_tid = tid && o.o_seg = Segments.seg_of t.segments tid ->
+      (* steady-state exclusive: the slow path would rewrite the owner
+         with identical fields and cannot warn *)
+      t.fast_hits <- t.fast_hits + 1
+  | prev -> (
+      let lc = (thread_locks t tid).Held_locks.ctx in
+      let any_set =
+        match t.config.bus_model with
+        | Rw_lock -> lc.Held_locks.any_bus
+        | Locked_mutex -> if atomic then lc.Held_locks.any_bus else lc.Held_locks.any_set
+      in
+      let write_set = if atomic then lc.Held_locks.write_bus else lc.Held_locks.write_set in
+      let fast =
+        t.config.fast_path
+        &&
+        match (prev, access) with
+        | Shared_ro _, Read -> c.f_any == any_set
+        | Shared_mod ls, Read -> c.f_any == any_set && not (Lockset.is_empty ls)
+        | Shared_mod ls, Write ->
+            c.f_wrote && c.f_write == write_set && not (Lockset.is_empty ls)
+        | _ -> false
+      in
+      if fast then t.fast_hits <- t.fast_hits + 1
+      else begin
+        let seg = Segments.seg_of t.segments tid in
+        let warn kind ls =
+          if
+            Lockset.is_empty ls
+            && (not (is_benign t addr))
+            && (match t.warning_filter with None -> true | Some f -> f ~tid ~addr ~kind)
+          then report t ctx ~kind ~tid ~addr ~loc ~prev_state:prev
+        in
+        (if not t.config.eraser_states then begin
+           (* pure Eraser: C(v) starts at Top and is refined by every access *)
+           let ls_prev = match prev with Shared_mod ls -> ls | _ -> Lockset.top in
+           let ls =
+             match access with
+             | Read -> Lockset.inter ls_prev any_set
+             | Write -> Lockset.inter ls_prev write_set
+           in
+           (match access with
+           | Read -> warn Report.Race_read ls
+           | Write -> warn Report.Race_write ls);
+           c.st <- Shared_mod ls
+         end
+         else
+           match prev with
+           | Virgin -> c.st <- Exclusive { o_tid = tid; o_seg = seg }
+           | Exclusive o ->
+               if o.o_tid = tid then c.st <- Exclusive { o_tid = tid; o_seg = seg }
+               else if t.config.thread_segments && Segments.happens_before t.segments o.o_seg seg
+               then
+                 (* ownership passes to the later segment; stays exclusive *)
+                 c.st <- Exclusive { o_tid = tid; o_seg = seg }
+               else begin
+                 (* second thread: initialise the candidate set with the locks
+                    active at this access and start checking *)
+                 match access with
+                 | Read -> c.st <- Shared_ro any_set
+                 | Write ->
+                     warn Report.Race_write write_set;
+                     c.st <- Shared_mod write_set
+               end
+           | Shared_ro ls -> (
+               match access with
+               | Read ->
+                   let ls' = Lockset.inter ls any_set in
+                   if ls' != ls then c.st <- Shared_ro ls'
+               | Write ->
+                   let ls = Lockset.inter ls write_set in
+                   warn Report.Race_write ls;
+                   c.st <- Shared_mod ls)
+           | Shared_mod ls -> (
+               match access with
+               | Read ->
+                   let ls' = Lockset.inter ls any_set in
+                   if t.config.report_reads then warn Report.Race_read ls';
+                   if ls' != ls then c.st <- Shared_mod ls'
+               | Write ->
+                   let ls' = Lockset.inter ls write_set in
+                   warn Report.Race_write ls';
+                   if ls' != ls then c.st <- Shared_mod ls'));
+        c.f_any <- any_set;
+        c.f_write <- write_set;
+        c.f_wrote <- access = Write
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Event dispatch                                                      *)
 (* ------------------------------------------------------------------ *)
-
-let acquire t tid uid mode =
-  let l = thread_locks t tid in
-  l.held_any <- uid :: l.held_any;
-  match mode with
-  | Vm.Eff.Write_mode -> l.held_write <- uid :: l.held_write
-  | Vm.Eff.Read_mode -> ()
-
-let release t tid uid =
-  let remove_one xs =
-    let rec go = function [] -> [] | x :: rest -> if x = uid then rest else x :: go rest in
-    go xs
-  in
-  let l = thread_locks t tid in
-  l.held_any <- remove_one l.held_any;
-  l.held_write <- remove_one l.held_write
 
 let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
   match e with
@@ -308,9 +357,14 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
   | E_write { tid; addr; atomic; loc; _ } ->
       check_access t ctx ~access:Write ~tid ~addr ~atomic ~loc
   | E_alloc { addr; len; _ } ->
-      (* fresh (or recycled through malloc) memory starts life virgin *)
-      for a = addr to addr + len - 1 do
-        match Hashtbl.find_opt t.shadow a with Some c -> c := Virgin | None -> ()
+      (* fresh (or recycled through malloc) memory starts life virgin;
+         slots past the shadow's frontier are already virgin *)
+      let n = Array.length t.shadow in
+      for a = addr to min (addr + len - 1) (n - 1) do
+        let c = Array.unsafe_get t.shadow a in
+        c.st <- Virgin;
+        c.f_any <- Lockset.top;
+        c.f_wrote <- false
       done
   | E_free _ -> ()
   | E_sync_create { sync; name; _ } -> (
@@ -319,13 +373,16 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
       | None -> ())
   | E_acquire { tid; lock; mode; _ } -> (
       match lock with
-      | Mutex m -> acquire t tid (Lock_id.of_mutex m) Vm.Eff.Write_mode
-      | Rwlock rw -> if t.config.track_rwlocks then acquire t tid (Lock_id.of_rwlock rw) mode
+      | Mutex m -> Held_locks.acquire (thread_locks t tid) (Lock_id.of_mutex m) Vm.Eff.Write_mode
+      | Rwlock rw ->
+          if t.config.track_rwlocks then
+            Held_locks.acquire (thread_locks t tid) (Lock_id.of_rwlock rw) mode
       | Cond _ | Sem _ -> ())
   | E_release { tid; lock; _ } -> (
       match lock with
-      | Mutex m -> release t tid (Lock_id.of_mutex m)
-      | Rwlock rw -> if t.config.track_rwlocks then release t tid (Lock_id.of_rwlock rw)
+      | Mutex m -> Held_locks.release (thread_locks t tid) (Lock_id.of_mutex m)
+      | Rwlock rw ->
+          if t.config.track_rwlocks then Held_locks.release (thread_locks t tid) (Lock_id.of_rwlock rw)
       | Cond _ | Sem _ -> ())
   | E_cond_signal _ | E_cond_wait_pre _ | E_cond_wait_post _ | E_sem_post _ | E_sem_wait_post _
     ->
@@ -340,7 +397,10 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
                genuine concurrent accesses still trigger a transition *)
             let seg = Segments.seg_of t.segments tid in
             for a = addr to addr + len - 1 do
-              (cell t a) := Exclusive { o_tid = tid; o_seg = seg }
+              let c = cell t a in
+              c.st <- Exclusive { o_tid = tid; o_seg = seg };
+              c.f_any <- Lockset.top;
+              c.f_wrote <- false
             done
           end
       | Vm.Eff.Benign_race { addr; len } -> t.benign <- (addr, len) :: t.benign

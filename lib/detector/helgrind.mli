@@ -41,6 +41,11 @@ type config = {
       (** honour [ANNOTATE_HAPPENS_BEFORE]/[_AFTER] client requests —
           the §5 future-work extension for higher-level
           synchronisation *)
+  fast_path : bool;
+      (** short-circuit the Figure-1 step when the word's last-access
+          stamp (thread, segment, interned lock-sets) shows the
+          transition is a no-op that cannot warn; on by default and
+          guaranteed not to alter reports *)
 }
 
 val original : config
@@ -89,3 +94,6 @@ val locations : t -> (Report.t * int) list
 val location_count : t -> int
 val collector : t -> Report.collector
 val accesses_checked : t -> int
+
+val fast_path_hits : t -> int
+(** Accesses answered by the shadow fast path (0 when disabled). *)

@@ -1,4 +1,14 @@
-(** Lock-sets: the candidate sets C(v) of the Eraser algorithm.
+(** Lock-sets: the candidate sets C(v) of the Eraser algorithm,
+    hash-consed à la Eraser's original lockset-index design.
+
+    Every distinct set is interned exactly once into a global table and
+    represented by a small integer id, so
+    - equality is physical ([==], one comparison),
+    - the per-word shadow state stores one immutable pointer,
+    - intersections are memoised in a pair-of-ids-keyed cache: the hot
+      path of the detector (steady-state [inter] of the same two sets
+      on every access) is a single hash probe instead of an array merge
+      plus allocation.
 
     [Top] is the initial "set of all locks" — intersecting anything
     with it yields the other operand, so we never need to materialise
@@ -6,32 +16,134 @@
 
 module Iss = Raceguard_util.Int_sorted_set
 
-type t = Top | Set of Iss.t
+type repr = Top | Set of Iss.t
+type t = { id : int; repr : repr }
 
-let top = Top
-let empty = Set Iss.empty
-let of_list l = Set (Iss.of_list l)
+(* ------------------------------------------------------------------ *)
+(* The intern table                                                    *)
+(* ------------------------------------------------------------------ *)
 
-let is_empty = function Top -> false | Set s -> Iss.is_empty s
+module Key = struct
+  type t = Iss.t
+
+  let equal = Iss.equal
+  let hash (s : t) = Hashtbl.hash (s : Iss.t :> int array)
+end
+
+module Intern = Hashtbl.Make (Key)
+
+let top = { id = 0; repr = Top }
+let empty = { id = 1; repr = Set Iss.empty }
+
+(* ids are process-global: lock uids restart per VM instance, so the
+   universe of distinct sets stays small even across many runs *)
+let next_id = ref 2
+let table : t Intern.t = Intern.create 256
+
+let intern (s : Iss.t) =
+  if Iss.is_empty s then empty
+  else
+    match Intern.find_opt table s with
+    | Some t -> t
+    | None ->
+        if !next_id >= 0xFFFFFF then failwith "Lockset: intern id space exhausted";
+        let t = { id = !next_id; repr = Set s } in
+        incr next_id;
+        Intern.add table s t;
+        t
+
+let of_list l = intern (Iss.of_list l)
+
+(* --- memoised intersection ---------------------------------------- *)
+
+(* the memo key packs both ids into one immediate int (no tuple
+   allocation on the hot path); [intern] guards the 24-bit id space *)
+module Memo = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash (k : int) = Hashtbl.hash k
+end)
+
+let inter_memo : t Memo.t = Memo.create 1024
+let memo_hits = ref 0
+let memo_misses = ref 0
 
 let inter a b =
-  match (a, b) with
-  | Top, x | x, Top -> x
-  | Set a, Set b -> Set (Iss.inter a b)
+  if a == b then a
+  else
+    match (a.repr, b.repr) with
+    | Top, _ -> b
+    | _, Top -> a
+    | Set sa, Set sb -> (
+        let key =
+          if a.id <= b.id then (a.id lsl 24) lor b.id else (b.id lsl 24) lor a.id
+        in
+        (* Hashtbl.find over find_opt: no [Some] allocation on the hit
+           path, and hits dominate after warm-up *)
+        match Memo.find inter_memo key with
+        | r ->
+            incr memo_hits;
+            r
+        | exception Not_found ->
+            incr memo_misses;
+            let r = intern (Iss.inter sa sb) in
+            Memo.add inter_memo key r;
+            r)
 
-let mem x = function Top -> true | Set s -> Iss.mem x s
+let union a b =
+  match (a.repr, b.repr) with
+  | Top, _ | _, Top -> top
+  | Set sa, Set sb -> intern (Iss.union sa sb)
 
-let equal a b =
-  match (a, b) with
-  | Top, Top -> true
-  | Set a, Set b -> Iss.equal a b
-  | Top, Set _ | Set _, Top -> false
+(* add/remove run on every acquire/release — in lock-heavy workloads
+   that is a third of all events — so they are memoised too, keyed by
+   (element, set id).  Lock uids share the 24-bit guard of set ids. *)
+let add_memo : t Memo.t = Memo.create 256
+let remove_memo : t Memo.t = Memo.create 256
 
-let cardinal = function Top -> max_int | Set s -> Iss.cardinal s
+let add x t =
+  match t.repr with
+  | Top -> top
+  | Set s -> (
+      let key = (x lsl 24) lor t.id in
+      match Memo.find add_memo key with
+      | r -> r
+      | exception Not_found ->
+          let r = intern (Iss.add x s) in
+          Memo.add add_memo key r;
+          r)
 
-let to_list = function Top -> None | Set s -> Some (Iss.to_list s)
+let remove x t =
+  match t.repr with
+  | Top -> top
+  | Set s -> (
+      let key = (x lsl 24) lor t.id in
+      match Memo.find remove_memo key with
+      | r -> r
+      | exception Not_found ->
+          let r = intern (Iss.remove x s) in
+          Memo.add remove_memo key r;
+          r)
 
-let pp ~name_of ppf = function
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let id t = t.id
+let is_empty t = t == empty
+let equal (a : t) b = a == b
+let mem x t = match t.repr with Top -> true | Set s -> Iss.mem x s
+let cardinal t = match t.repr with Top -> max_int | Set s -> Iss.cardinal s
+let to_list t = match t.repr with Top -> None | Set s -> Some (Iss.to_list s)
+
+let interned_count () = !next_id - 2
+
+let stats () =
+  (interned_count (), Memo.length inter_memo, !memo_hits, !memo_misses)
+
+let pp ~name_of ppf t =
+  match t.repr with
   | Top -> Fmt.string ppf "<all locks>"
   | Set s ->
       if Iss.is_empty s then Fmt.string ppf "no locks"

@@ -1,22 +1,47 @@
 (** Lock-sets: the candidate sets C(v) of the Eraser algorithm.
 
+    Hash-consed: every distinct set is interned once into a global
+    table and carries a small integer {!id}; {!equal} is physical
+    equality and {!inter} is memoised in a pair-of-ids-keyed cache, so
+    the detector hot path costs a hash probe instead of an array merge.
+
     [top] is the initial "set of all locks"; intersection with it
     yields the other operand, so the universe is never materialised. *)
 
-type t = Top | Set of Raceguard_util.Int_sorted_set.t
+type t
 
 val top : t
 val empty : t
 val of_list : int list -> t
 
+val id : t -> int
+(** The interned set's unique small-integer id ([top] is 0, [empty]
+    is 1); equal ids iff equal sets. *)
+
 val is_empty : t -> bool
-(** [Top] is not empty. *)
+(** [top] is not empty. *)
 
 val inter : t -> t -> t
+(** Memoised; [inter a a == a] and results are interned, so repeated
+    steady-state intersections allocate nothing. *)
+
+val union : t -> t -> t
+val add : int -> t -> t
+val remove : int -> t -> t
+
 val mem : int -> t -> bool
 val equal : t -> t -> bool
+(** Physical equality — sound because of interning. *)
+
 val cardinal : t -> int
 val to_list : t -> int list option
 (** [None] for [Top]. *)
+
+val interned_count : unit -> int
+(** Distinct sets interned so far (process-global). *)
+
+val stats : unit -> int * int * int * int
+(** [(interned sets, memoised intersections, memo hits, memo misses)]
+    — process-global counters for the perf experiment and bench. *)
 
 val pp : name_of:(int -> string) -> Format.formatter -> t -> unit

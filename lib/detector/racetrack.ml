@@ -34,13 +34,11 @@ type cell = {
   mutable threadset : (int * int) list;  (** (tid, clock) stamps *)
 }
 
-type thread_locks = { mutable held_any : int list; mutable held_write : int list }
-
 type t = {
   config : config;
   clocks : Hb_clocks.t;
-  shadow : (int, cell) Hashtbl.t;
-  locks : (int, thread_locks) Hashtbl.t;
+  mutable shadow : cell array;  (** indexed by word address *)
+  mutable locks : Held_locks.t array;  (** indexed by tid *)
   lock_names : (int, string) Hashtbl.t;
   collector : Report.collector;
   mutable benign : (int * int) list;
@@ -50,8 +48,8 @@ let create ?(config = default_config) ?(suppressions = []) () =
   {
     config;
     clocks = Hb_clocks.create ~config:config.hb ();
-    shadow = Hashtbl.create 65536;
-    locks = Hashtbl.create 64;
+    shadow = [||];
+    locks = [||];
     lock_names = Hashtbl.create 64;
     collector = Report.collector ~suppressions ();
     benign = [];
@@ -63,33 +61,37 @@ let location_count t = Report.location_count t.collector
 let collector t = t.collector
 
 let thread_locks t tid =
-  match Hashtbl.find_opt t.locks tid with
-  | Some l -> l
-  | None ->
-      let l = { held_any = []; held_write = [] } in
-      Hashtbl.replace t.locks tid l;
-      l
+  let n = Array.length t.locks in
+  if tid >= n then begin
+    let a =
+      Array.init
+        (max 16 (max (2 * n) (tid + 1)))
+        (fun i -> if i < n then Array.unsafe_get t.locks i else Held_locks.create ())
+    in
+    t.locks <- a
+  end;
+  Array.unsafe_get t.locks tid
+
+let fresh_cell () = { lockset = Lockset.top; threadset = [] }
 
 let cell t addr =
-  match Hashtbl.find_opt t.shadow addr with
-  | Some c -> c
-  | None ->
-      let c = { lockset = Lockset.top; threadset = [] } in
-      Hashtbl.replace t.shadow addr c;
-      c
+  let n = Array.length t.shadow in
+  if addr >= n then begin
+    let a =
+      Array.init
+        (max 4096 (max (2 * n) (addr + 1)))
+        (fun i -> if i < n then Array.unsafe_get t.shadow i else fresh_cell ())
+    in
+    t.shadow <- a
+  end;
+  Array.unsafe_get t.shadow addr
 
 let is_benign t addr = List.exists (fun (b, l) -> addr >= b && addr < b + l) t.benign
 
 let effective_sets t tid ~atomic =
-  let l = thread_locks t tid in
-  let with_bus cond set = if cond then Lock_id.bus :: set else set in
-  let any =
-    match t.config.bus_model with
-    | Helgrind.Rw_lock -> with_bus true l.held_any
-    | Helgrind.Locked_mutex -> with_bus atomic l.held_any
-  in
-  let write = with_bus atomic l.held_write in
-  (Lockset.of_list any, Lockset.of_list write)
+  Held_locks.effective (thread_locks t tid)
+    ~bus_rw:(t.config.bus_model = Helgrind.Rw_lock)
+    ~atomic
 
 let name_of t uid =
   match Hashtbl.find_opt t.lock_names uid with
@@ -124,6 +126,12 @@ type access = Read | Write
 
 let check_access t ctx ~access ~tid ~addr ~atomic ~loc =
   let c = cell t addr in
+  match c.threadset with
+  | [ (u, k) ] when u = tid && k = Hb_clocks.clock_of t.clocks tid ->
+      (* steady-state exclusive: prune + restamp is the identity, and
+         the previous access already reset the lock-set to ⊤ *)
+      ()
+  | _ ->
   (* prune stamps that happen-before this access *)
   c.threadset <-
     List.filter
@@ -148,21 +156,8 @@ let check_access t ctx ~access ~tid ~addr ~atomic ~loc =
       | Read -> if t.config.report_reads then report t ctx ~kind:Report.Race_read ~tid ~addr ~loc c
   end
 
-let acquire t tid uid mode =
-  let l = thread_locks t tid in
-  l.held_any <- uid :: l.held_any;
-  match mode with
-  | Vm.Eff.Write_mode -> l.held_write <- uid :: l.held_write
-  | Vm.Eff.Read_mode -> ()
-
-let release t tid uid =
-  let remove_one xs =
-    let rec go = function [] -> [] | x :: rest -> if x = uid then rest else x :: go rest in
-    go xs
-  in
-  let l = thread_locks t tid in
-  l.held_any <- remove_one l.held_any;
-  l.held_write <- remove_one l.held_write
+let acquire t tid uid mode = Held_locks.acquire (thread_locks t tid) uid mode
+let release t tid uid = Held_locks.release (thread_locks t tid) uid
 
 let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
   (* clocks first: an acquire's edge must be visible to the accesses
@@ -173,12 +168,11 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
   | E_write { tid; addr; atomic; loc; _ } ->
       check_access t ctx ~access:Write ~tid ~addr ~atomic ~loc
   | E_alloc { addr; len; _ } ->
-      for a = addr to addr + len - 1 do
-        match Hashtbl.find_opt t.shadow a with
-        | Some c ->
-            c.lockset <- Lockset.top;
-            c.threadset <- []
-        | None -> ()
+      let n = Array.length t.shadow in
+      for a = addr to min (addr + len - 1) (n - 1) do
+        let c = Array.unsafe_get t.shadow a in
+        c.lockset <- Lockset.top;
+        c.threadset <- []
       done
   | E_sync_create { sync; name; _ } -> (
       match Lock_id.of_sync_ref sync with

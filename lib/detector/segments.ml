@@ -18,7 +18,7 @@ type seg = int
 
 type t = {
   parents : seg list Growvec.t;
-  current : (int, seg) Hashtbl.t;  (** tid -> active segment *)
+  mutable current : int array;  (** tid -> active segment, [-1] = unseen *)
   last_of_thread : (int, seg) Hashtbl.t;  (** tid -> final segment at exit *)
   memo : (int, bool) Hashtbl.t;  (** (a * n + b) -> reachability *)
   tags : (int, seg) Hashtbl.t;  (** HAPPENS_BEFORE tag -> sender segment *)
@@ -27,7 +27,7 @@ type t = {
 let create () =
   {
     parents = Growvec.create ~dummy:[];
-    current = Hashtbl.create 64;
+    current = Array.make 16 (-1);
     last_of_thread = Hashtbl.create 64;
     memo = Hashtbl.create 4096;
     tags = Hashtbl.create 64;
@@ -35,14 +35,25 @@ let create () =
 
 let new_seg t parents = Growvec.push t.parents parents
 
+let set_current t tid s =
+  let n = Array.length t.current in
+  if tid >= n then begin
+    let a = Array.make (max (2 * n) (tid + 1)) (-1) in
+    Array.blit t.current 0 a 0 n;
+    t.current <- a
+  end;
+  t.current.(tid) <- s
+
+(* the hottest query of the detector: one bounds check and a load *)
 let seg_of t tid =
-  match Hashtbl.find_opt t.current tid with
-  | Some s -> s
-  | None ->
-      (* a thread we never saw start (e.g. tool attached mid-run) *)
-      let s = new_seg t [] in
-      Hashtbl.replace t.current tid s;
-      s
+  if tid < Array.length t.current && Array.unsafe_get t.current tid >= 0 then
+    Array.unsafe_get t.current tid
+  else begin
+    (* a thread we never saw start (e.g. tool attached mid-run) *)
+    let s = new_seg t [] in
+    set_current t tid s;
+    s
+  end
 
 let on_thread_start t ~tid ~parent =
   match parent with
@@ -54,8 +65,8 @@ let on_thread_start t ~tid ~parent =
       let ps = seg_of t p in
       let parent_cont = new_seg t [ ps ] in
       let child_start = new_seg t [ ps ] in
-      Hashtbl.replace t.current p parent_cont;
-      Hashtbl.replace t.current tid child_start
+      set_current t p parent_cont;
+      set_current t tid child_start
 
 let on_thread_exit t ~tid = Hashtbl.replace t.last_of_thread tid (seg_of t tid)
 
@@ -65,7 +76,7 @@ let on_thread_exit t ~tid = Hashtbl.replace t.last_of_thread tid (seg_of t tid)
 let on_happens_before t ~tid ~tag =
   let s = seg_of t tid in
   Hashtbl.replace t.tags tag s;
-  Hashtbl.replace t.current tid (new_seg t [ s ])
+  set_current t tid (new_seg t [ s ])
 
 (** HAPPENS_AFTER: the observing thread's next segment descends from
     both its own past and the announced segment — like a join edge. *)
@@ -73,7 +84,7 @@ let on_happens_after t ~tid ~tag =
   match Hashtbl.find_opt t.tags tag with
   | None -> ()  (* no matching BEFORE observed: no edge *)
   | Some sender ->
-      Hashtbl.replace t.current tid (new_seg t [ seg_of t tid; sender ])
+      set_current t tid (new_seg t [ seg_of t tid; sender ])
 
 let on_join t ~joiner ~joined =
   let last =
@@ -82,7 +93,7 @@ let on_join t ~joiner ~joined =
     | None -> seg_of t joined
   in
   let j = new_seg t [ seg_of t joiner; last ] in
-  Hashtbl.replace t.current joiner j
+  set_current t joiner j
 
 (** [happens_before t a b]: is segment [a] an ancestor of (or equal to)
     segment [b] in the segment graph? *)

@@ -57,7 +57,10 @@ let default_config =
 (* Threads                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type wake = Wake : ('a, unit) Effect.Deep.continuation * (unit -> 'a) -> wake
+type wake =
+  | Wake : ('a, unit) Effect.Deep.continuation * (unit -> 'a) -> wake
+  | Wake_v : ('a, unit) Effect.Deep.continuation * 'a -> wake
+      (** plain-value resume: the common case, no thunk allocation *)
 
 type block_reason =
   | On_mutex of int
@@ -162,7 +165,8 @@ type t = {
   rwlocks : rwlock_obj Growvec.t;
   conds : cond_obj Growvec.t;
   sems : sem_obj Growvec.t;
-  mutable ready : int list;  (** ready tids, FIFO order (head = oldest) *)
+  mutable ready : int array;  (** first [ready_len] entries: ready tids, FIFO *)
+  mutable ready_len : int;
   mutable current : int;
   mutable clock : int;
   mutable ops : int;
@@ -172,7 +176,13 @@ type t = {
   mutable benign_ranges : (int * int) list;
   mutable decisions : (int * int) list;
       (** reverse log of (chosen index, arity) for decision points with
-          arity > 1 — the branching structure {!Explore} enumerates *)
+          arity > 1 — the branching structure {!Explore} enumerates.
+          Only kept under [Scripted] policy (its sole consumer), so the
+          common policies do not allocate per scheduling step *)
+  mutable decision_count : int;
+  mutable cached_ctx : Tool.ctx option;
+      (** the tool ctx is pure closures over [t]; built once so [emit]
+          does not allocate per event *)
 }
 
 let dummy_thread =
@@ -201,7 +211,9 @@ let create ?(config = default_config) () =
         ~dummy:{ rw_id = -1; rw_name = ""; rw_writer = None; rw_readers = []; rw_waiters = Queue.create () };
     conds = Growvec.create ~dummy:{ cv_id = -1; cv_name = ""; cv_waiters = Queue.create () };
     sems = Growvec.create ~dummy:{ sem_id = -1; sem_name = ""; sem_count = 0; sem_waiters = Queue.create () };
-    ready = [];
+    ready = [||];
+    ready_len = 0;
+    decision_count = 0;
     current = -1;
     clock = 0;
     ops = 0;
@@ -210,6 +222,7 @@ let create ?(config = default_config) () =
     trace = Growvec.create ~dummy:(Event.E_thread_exit { tid = -1 });
     benign_ranges = [];
     decisions = [];
+    cached_ctx = None;
   }
 
 let add_tool t tool = t.tools <- t.tools @ [ tool ]
@@ -222,12 +235,19 @@ let thread t tid = Growvec.get t.threads tid
 let memory t = t.memory
 
 let tool_ctx t : Tool.ctx =
-  {
-    stack_of = (fun tid -> (thread t tid).frames);
-    thread_name = (fun tid -> (thread t tid).name);
-    block_of = (fun addr -> Memory.block_of t.memory addr);
-    clock = (fun () -> t.clock);
-  }
+  match t.cached_ctx with
+  | Some ctx -> ctx
+  | None ->
+      let ctx : Tool.ctx =
+        {
+          stack_of = (fun tid -> (thread t tid).frames);
+          thread_name = (fun tid -> (thread t tid).name);
+          block_of = (fun addr -> Memory.block_of t.memory addr);
+          clock = (fun () -> t.clock);
+        }
+      in
+      t.cached_ctx <- Some ctx;
+      ctx
 
 let emit t event =
   if t.config.trace_events then ignore (Growvec.push t.trace event);
@@ -242,50 +262,56 @@ let enqueue_ready t tid =
   | Fresh _ | Ready -> ()
   | Running | Blocked _ -> th.status <- Ready
   | Done -> invalid_arg "enqueue_ready: thread is done");
-  t.ready <- t.ready @ [ tid ]
+  let n = Array.length t.ready in
+  if t.ready_len >= n then begin
+    let a = Array.make (max 16 (2 * n)) (-1) in
+    Array.blit t.ready 0 a 0 n;
+    t.ready <- a
+  end;
+  t.ready.(t.ready_len) <- tid;
+  t.ready_len <- t.ready_len + 1
 
-let ready_list t = t.ready
+let ready_count t = t.ready_len
 
 let take_ready_at t idx =
-  let rec go i acc = function
-    | [] -> invalid_arg "take_ready_at"
-    | x :: rest ->
-        if i = idx then begin
-          t.ready <- List.rev_append acc rest;
-          x
-        end
-        else go (i + 1) (x :: acc) rest
-  in
-  go 0 [] t.ready
+  if idx < 0 || idx >= t.ready_len then invalid_arg "take_ready_at";
+  let x = t.ready.(idx) in
+  Array.blit t.ready (idx + 1) t.ready idx (t.ready_len - idx - 1);
+  t.ready_len <- t.ready_len - 1;
+  x
 
 let pick_ready t =
-  match t.ready with
-  | [] -> None
-  | l ->
-      let n = List.length l in
-      let choice =
-        match t.config.policy with
-        | Round_robin -> 0
-        | Random_seeded -> Rng.int t.rng n
-        | Sticky ->
-            (* prefer the thread that ran last if it is ready *)
-            let rec find i = function
-              | [] -> 0
-              | x :: _ when x = t.current -> i
-              | _ :: rest -> find (i + 1) rest
-            in
-            find 0 l
-        | Scripted script ->
-            let k = List.length t.decisions in
-            if k < Array.length script then script.(k) mod n else 0
-      in
-      if n > 1 then t.decisions <- (choice, n) :: t.decisions;
-      Some (take_ready_at t choice)
+  let n = t.ready_len in
+  if n = 0 then None
+  else begin
+    let choice =
+      match t.config.policy with
+      | Round_robin -> 0
+      | Random_seeded -> Rng.int t.rng n
+      | Sticky ->
+          (* prefer the thread that ran last if it is ready *)
+          let rec find i = if i >= n then 0 else if t.ready.(i) = t.current then i else find (i + 1) in
+          find 0
+      | Scripted script ->
+          let k = t.decision_count in
+          if k < Array.length script then script.(k) mod n else 0
+    in
+    if n > 1 then begin
+      t.decision_count <- t.decision_count + 1;
+      match t.config.policy with
+      | Scripted _ -> t.decisions <- (choice, n) :: t.decisions
+      | Round_robin | Random_seeded | Sticky -> ()
+    end;
+    Some (take_ready_at t choice)
+  end
 
 (* --- waking helpers ---------------------------------------------- *)
 
 let resume_with (th : thread) (v : unit -> 'a) (k : ('a, unit) Effect.Deep.continuation) =
   th.wake <- Some (Wake (k, v))
+
+let resume_value (th : thread) (v : 'a) (k : ('a, unit) Effect.Deep.continuation) =
+  th.wake <- Some (Wake_v (k, v))
 
 (* Grant a mutex to a waiting thread and make it runnable.  The
    acquire event is emitted at grant time: that is the moment the
@@ -403,7 +429,7 @@ let detect_deadlock t =
 exception Too_many_ops
 
 let reschedule_self t th v k =
-  resume_with th v k;
+  resume_value th v k;
   enqueue_ready t th.tid
 
 (* Interpret one operation performed by thread [th].  Must either make
@@ -415,7 +441,7 @@ let rec handle_op : type a. t -> thread -> a op -> (a, unit) Effect.Deep.continu
   th.ops <- th.ops + 1;
   t.clock <- t.clock + 1;
   if t.ops > t.config.max_ops then raise Too_many_ops;
-  let ret (v : a) = reschedule_self t th (fun () -> v) k in
+  let ret (v : a) = reschedule_self t th v k in
   match op with
   | Read { addr; loc } ->
       let value = Memory.get t.memory addr in
@@ -645,6 +671,14 @@ and wake_cond_waiter t w m ~cv ~loc =
                    fun () ->
                      emit t (Event.E_cond_wait_post { tid = w; cv; m; loc });
                      v () ))
+      | Some (Wake_v (k, v)) ->
+          wth.wake <-
+            Some
+              (Wake
+                 ( k,
+                   fun () ->
+                     emit t (Event.E_cond_wait_post { tid = w; cv; m; loc });
+                     v ))
       | None -> ());
       Queue.push w mu.m_waiters)
 
@@ -700,6 +734,9 @@ let run_thread t th =
       | Some (Wake (k, v)) ->
           th.wake <- None;
           Effect.Deep.continue k (v ())
+      | Some (Wake_v (k, v)) ->
+          th.wake <- None;
+          Effect.Deep.continue k v
       | None -> invalid_arg "run_thread: ready thread without wake")
   | Running | Blocked _ | Done -> invalid_arg "run_thread: thread not runnable"
 
@@ -751,7 +788,7 @@ let run t main =
        | Some tid -> run_thread t (thread t tid)
        | None -> (
            ignore (wake_due_sleepers t);
-           if ready_list t <> [] then ()
+           if ready_count t > 0 then ()
            else
              match earliest_sleeper t with
              | Some until ->

@@ -85,5 +85,6 @@ val memory : t -> Memory.t
 val decision_log : t -> (int * int) list
 (** Chronological log of the run's nontrivial scheduling decisions as
     (chosen index, arity) pairs — only decision points with more than
-    one ready thread are logged.  Meaningful after {!run}; used by
-    {!Explore} to enumerate alternative schedules. *)
+    one ready thread are logged, and only under the [Scripted] policy
+    (its sole consumer).  Meaningful after {!run}; used by {!Explore}
+    to enumerate alternative schedules. *)

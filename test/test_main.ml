@@ -15,5 +15,6 @@ let () =
       Test_classify.suite;
       Test_explore.suite;
       Test_properties.suite;
+      Test_fastpath.suite;
       Test_experiments.suite;
     ]
