@@ -34,6 +34,7 @@ module Det = Raceguard_detector
 module Vm = Raceguard_vm
 module Sip = Raceguard_sip
 module Loc = Raceguard_util.Loc
+module Obs = Raceguard_obs
 
 let seed = 7
 
@@ -202,6 +203,7 @@ let workloads ~quick =
    read back report counts and dedup signatures for fidelity checks *)
 type subject = {
   s_name : string;
+  s_config : Obs.Json.t;  (** full detector configuration, echoed into the JSON header *)
   s_make : unit -> Vm.Tool.t list * (unit -> int) * (unit -> string list);
 }
 
@@ -218,15 +220,38 @@ let mk_helgrind cfg () =
     (fun () -> Det.Helgrind.location_count h),
     fun () -> sigs_of (Det.Helgrind.locations h) )
 
+let other_config detector = Obs.Json.Obj [ ("detector", Obs.Json.Str detector) ]
+
 let subjects =
   [
-    { s_name = "no-tool"; s_make = (fun () -> ([], (fun () -> 0), fun () -> [])) };
-    { s_name = "helgrind-original"; s_make = mk_helgrind Det.Helgrind.original };
-    { s_name = "helgrind-hwlc"; s_make = mk_helgrind Det.Helgrind.hwlc };
-    { s_name = "helgrind-hwlc+dr"; s_make = mk_helgrind Det.Helgrind.hwlc_dr };
-    { s_name = "eraser-pure"; s_make = mk_helgrind Det.Helgrind.pure_eraser };
+    {
+      s_name = "no-tool";
+      s_config = other_config "none";
+      s_make = (fun () -> ([], (fun () -> 0), fun () -> []));
+    };
+    {
+      s_name = "helgrind-original";
+      s_config = Det.Helgrind.config_to_json Det.Helgrind.original;
+      s_make = mk_helgrind Det.Helgrind.original;
+    };
+    {
+      s_name = "helgrind-hwlc";
+      s_config = Det.Helgrind.config_to_json Det.Helgrind.hwlc;
+      s_make = mk_helgrind Det.Helgrind.hwlc;
+    };
+    {
+      s_name = "helgrind-hwlc+dr";
+      s_config = Det.Helgrind.config_to_json Det.Helgrind.hwlc_dr;
+      s_make = mk_helgrind Det.Helgrind.hwlc_dr;
+    };
+    {
+      s_name = "eraser-pure";
+      s_config = Det.Helgrind.config_to_json Det.Helgrind.pure_eraser;
+      s_make = mk_helgrind Det.Helgrind.pure_eraser;
+    };
     {
       s_name = "djit";
+      s_config = other_config "djit";
       s_make =
         (fun () ->
           let d = Det.Djit.create () in
@@ -236,6 +261,7 @@ let subjects =
     };
     {
       s_name = "hybrid";
+      s_config = other_config "hybrid";
       s_make =
         (fun () ->
           let h = Det.Hybrid.create () in
@@ -245,6 +271,7 @@ let subjects =
     };
     {
       s_name = "racetrack";
+      s_config = other_config "racetrack";
       s_make =
         (fun () ->
           let r = Det.Racetrack.create () in
@@ -264,6 +291,10 @@ type row = {
   r_events_per_sec : float;
   r_minor_words_per_event : float;
   r_normalized : float;  (** events/sec relative to no-tool on this workload *)
+  r_checked : int;  (** detector accesses checked during the audit run *)
+  r_fast_hits : int;  (** of which answered by the shadow fast path *)
+  r_interned : int;  (** lock-set intern table size after the audit run *)
+  r_gc_words_per_event : float;  (** minor words allocated per event (audit run) *)
 }
 
 let composite w s = w.w_name ^ "::" ^ s.s_name
@@ -288,7 +319,7 @@ let run_throughput ~quick ~seed =
   let workloads = workloads ~quick in
   let quota, limit = if quick then (0.15, 60) else (0.5, 200) in
   (* audit pass: one untimed run per subject×workload for event counts,
-     report counts and dedup signatures *)
+     report counts, dedup signatures and a metrics-registry delta *)
   let audits =
     List.map
       (fun w ->
@@ -297,8 +328,12 @@ let run_throughput ~quick ~seed =
           List.map
             (fun s ->
               let tools, n_reports, signatures = s.s_make () in
+              let before = Obs.Metrics.snapshot () in
+              let gc0 = Gc.minor_words () in
               w.w_run ~seed tools;
-              (s.s_name, (n_reports (), digest_sigs (signatures ()))))
+              let gc_words = Gc.minor_words () -. gc0 in
+              let m = Obs.Metrics.diff ~before (Obs.Metrics.snapshot ()) in
+              (s.s_name, (n_reports (), digest_sigs (signatures ()), m, gc_words)))
             subjects
         in
         (w.w_name, (events, per_subject)))
@@ -337,7 +372,9 @@ let run_throughput ~quick ~seed =
             let eps =
               if Float.is_nan ns || ns <= 0. then 0. else float_of_int events /. (ns /. 1e9)
             in
-            let n_reports, digest = List.assoc s.s_name per_subject in
+            let n_reports, digest, m, gc_words = List.assoc s.s_name per_subject in
+            let counter name = Option.value ~default:0 (Obs.Metrics.find_counter m name) in
+            let gauge name = Option.value ~default:0 (Obs.Metrics.find_gauge m name) in
             {
               r_workload = w.w_name;
               r_config = s.s_name;
@@ -350,6 +387,11 @@ let run_throughput ~quick ~seed =
                 (if Float.is_nan words || events = 0 then 0.
                  else words /. float_of_int events);
               r_normalized = 0.;  (* filled below *)
+              r_checked = counter "detector.helgrind.accesses_checked";
+              r_fast_hits = counter "detector.helgrind.fast_path_hits";
+              r_interned = gauge "detector.lockset.interned";
+              r_gc_words_per_event =
+                (if events = 0 then 0. else gc_words /. float_of_int events);
             })
           subjects)
       workloads
@@ -374,12 +416,19 @@ let run_throughput ~quick ~seed =
 let fl x = if Float.is_nan x || Float.is_integer x then Printf.sprintf "%.1f" x else Printf.sprintf "%.6g" x
 
 let row_json r =
+  let hit_rate =
+    if r.r_checked = 0 then 0. else float_of_int r.r_fast_hits /. float_of_int r.r_checked
+  in
   Printf.sprintf
     "{\"workload\": \"%s\", \"config\": \"%s\", \"events\": %d, \"reports\": %d, \
      \"sig_digest\": \"%s\", \"ns_per_run\": %s, \"events_per_sec\": %s, \
-     \"minor_words_per_event\": %s, \"normalized\": %s}"
+     \"minor_words_per_event\": %s, \"normalized\": %s, \"metrics\": \
+     {\"accesses_checked\": %d, \"fast_path_hits\": %d, \"fast_path_hit_rate\": %s, \
+     \"lockset_interned\": %d, \"gc_minor_words_per_event\": %s}}"
     r.r_workload r.r_config r.r_events r.r_reports r.r_sig_digest (fl r.r_ns_per_run)
-    (fl r.r_events_per_sec) (fl r.r_minor_words_per_event) (fl r.r_normalized)
+    (fl r.r_events_per_sec) (fl r.r_minor_words_per_event) (fl r.r_normalized) r.r_checked
+    r.r_fast_hits (fl hit_rate) r.r_interned
+    (fl r.r_gc_words_per_event)
 
 let write_json ~out ~quick ~seed rows =
   let oc = open_out out in
@@ -387,6 +436,14 @@ let write_json ~out ~quick ~seed rows =
   Printf.fprintf oc "  \"schema\": \"raceguard-bench/1\",\n";
   Printf.fprintf oc "  \"seed\": %d,\n" seed;
   Printf.fprintf oc "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"configs\": {\n";
+  let ns = List.length subjects in
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" s.s_name (Obs.Json.to_string s.s_config)
+        (if i = ns - 1 then "" else ","))
+    subjects;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"results\": [\n";
   let n = List.length rows in
   List.iteri

@@ -4,6 +4,7 @@
     raceguard-experiments list          # available experiments
     raceguard-experiments run fig6      # one experiment
     raceguard-experiments run all       # everything
+    raceguard-experiments explain T4    # per-warning provenance
     v} *)
 
 open Cmdliner
@@ -44,7 +45,74 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ experiment_arg))
 
+let explain_cmd =
+  let doc =
+    "Explain every warning of a test case: shadow-state history plus the config knobs (hwlc, \
+     dr, segments, hb) that would suppress it."
+  in
+  let test_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TEST" ~doc:"test case (T1..T8)")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit machine-readable JSON instead of text")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"VM scheduling seed") in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"write a Chrome trace_event JSON of the run to $(docv)")
+  in
+  let sample_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "sample" ] ~docv:"N" ~doc:"trace 1-in-$(docv) offered events (with --trace)")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"write the run's metrics snapshot JSON to $(docv)")
+  in
+  let run test json seed trace sample metrics =
+    match Raceguard.Explain.test_case_of_string test with
+    | None -> `Error (false, Printf.sprintf "unknown test case %S (expected T1..T8)" test)
+    | Some tc ->
+        let module Obs = Raceguard_obs in
+        let tracer =
+          match trace with
+          | None -> None
+          | Some _ -> Some (Obs.Trace.create ~capacity:65536 ~sample ())
+        in
+        let runner = { Raceguard.Runner.default with seed; tracer } in
+        let x = Raceguard.Explain.run ~runner tc in
+        if json then print_endline (Obs.Json.to_string ~indent:2 (Raceguard.Explain.to_json x))
+        else Fmt.pr "%a@." Raceguard.Explain.pp x;
+        (match (trace, tracer) with
+        | Some file, Some tr ->
+            let oc = open_out file in
+            output_string oc (Obs.Trace.to_string tr);
+            close_out oc;
+            Printf.eprintf "trace: %s (%d records, %d offered)\n%!" file (Obs.Trace.recorded tr)
+              (Obs.Trace.offered tr)
+        | _ -> ());
+        (match metrics with
+        | Some file ->
+            let oc = open_out file in
+            output_string oc
+              (Obs.Json.to_string ~indent:2
+                 (Obs.Metrics.to_json x.Raceguard.Explain.x_result.Raceguard.Runner.metrics));
+            close_out oc;
+            Printf.eprintf "metrics: %s\n%!" file
+        | None -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      ret (const run $ test_arg $ json_arg $ seed_arg $ trace_arg $ sample_arg $ metrics_arg))
+
 let () =
   let doc = "Reproduce the tables and figures of the paper." in
   let info = Cmd.info "raceguard-experiments" ~version:"0.9" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; explain_cmd ]))

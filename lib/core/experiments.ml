@@ -11,6 +11,7 @@
 module Vm = Raceguard_vm
 module Det = Raceguard_detector
 module Sip = Raceguard_sip
+module Obs = Raceguard_obs
 module Table = Raceguard_util.Table
 
 let default_seed = 7
@@ -619,9 +620,11 @@ let perf ?(seed = default_seed) ?(reps = 3) () =
   let helgrind_slow =
     run_with [ ("HWLC+DR", { Det.Helgrind.hwlc_dr with fast_path = false }) ]
   in
-  (* hot-path counters from one instrumented run: fast-path hit rate
-     and the state of the process-global lockset intern/memo tables *)
-  let checked, fast_hits =
+  (* hot-path counters from one instrumented run, read from the
+     process-global metrics registry (the single stats path — no more
+     per-instance counter reads or Lockset.stats here) *)
+  let run_metrics =
+    let before = Obs.Metrics.snapshot () in
     let h = Det.Helgrind.create Det.Helgrind.hwlc_dr in
     let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed } () in
     Vm.Engine.add_tool vm (Det.Helgrind.tool h);
@@ -632,9 +635,18 @@ let perf ?(seed = default_seed) ?(reps = 3) () =
             (Sip.Workload.run_test_case ~transport ~server_config:Runner.default.server
                Sip.Workload.t2 ()))
     in
-    (Det.Helgrind.accesses_checked h, Det.Helgrind.fast_path_hits h)
+    Obs.Metrics.diff ~before (Obs.Metrics.snapshot ())
   in
-  let interned, memo_entries, memo_hits, memo_misses = Det.Lockset.stats () in
+  let m name = Option.value ~default:0 (Obs.Metrics.find_counter run_metrics name) in
+  let g name = Option.value ~default:0 (Obs.Metrics.find_gauge run_metrics name) in
+  let checked = m "detector.helgrind.accesses_checked" in
+  let fast_hits = m "detector.helgrind.fast_path_hits" in
+  (* gauges are levels, so these read as process-global totals — the
+     same semantics Lockset.stats always had *)
+  let interned = g "detector.lockset.interned" in
+  let memo_entries = g "detector.lockset.inter_memo_entries" in
+  let memo_hits = m "detector.lockset.inter_memo_hits" in
+  let memo_misses = m "detector.lockset.inter_memo_misses" in
   let all3 =
     run_with
       [
@@ -684,6 +696,7 @@ let perf ?(seed = default_seed) ?(reps = 3) () =
     (100.0 *. float_of_int fast_hits /. float_of_int (max 1 checked))
     interned memo_entries memo_hits memo_misses rec_len (rec_words / 1024)
     offline_record_t replay_t offline_locs
+  ^ Fmt.str "@\nmetrics registry (delta of the instrumented run):@\n%a" Obs.Metrics.pp run_metrics
 
 (* ------------------------------------------------------------------ *)
 (* E11 — deadlock detection                                            *)

@@ -11,6 +11,7 @@
 module Vm = Raceguard_vm
 module Det = Raceguard_detector
 module Sip = Raceguard_sip
+module Obs = Raceguard_obs
 
 type config = {
   seed : int;
@@ -22,6 +23,8 @@ type config = {
   server : Sip.Proxy.config;
   trace_events : bool;
   max_ops : int;
+  tracer : Obs.Trace.t option;
+      (** offered every VM event and every detector decision *)
 }
 
 let default =
@@ -39,6 +42,7 @@ let default =
     server = { Sip.Proxy.default_config with annotate = true };
     trace_events = false;
     max_ops = 50_000_000;
+    tracer = None;
   }
 
 type result = {
@@ -48,6 +52,7 @@ type result = {
   outcome : Vm.Engine.outcome;
   oracle : Sip.Workload.run_result option;
   wall_seconds : float;
+  metrics : Obs.Metrics.snapshot;  (** this run's delta of the global registry *)
 }
 
 (** Run an arbitrary VM main function under the configured detectors. *)
@@ -59,13 +64,18 @@ let run_main config main =
       reuse_memory = true;
       trace_events = config.trace_events;
       max_ops = config.max_ops;
+      tracer = config.tracer;
     }
   in
   let vm = Vm.Engine.create ~config:vm_config () in
   let helgrind =
     List.map (fun (name, hc) -> (name, Det.Helgrind.create hc)) config.helgrind_configs
   in
-  List.iter (fun (_, h) -> Vm.Engine.add_tool vm (Det.Helgrind.tool h)) helgrind;
+  List.iter
+    (fun (_, h) ->
+      (match config.tracer with Some tr -> Det.Helgrind.set_tracer h tr | None -> ());
+      Vm.Engine.add_tool vm (Det.Helgrind.tool h))
+    helgrind;
   let djit =
     if config.run_djit then begin
       let d = Det.Djit.create () in
@@ -82,11 +92,13 @@ let run_main config main =
     end
     else None
   in
+  let before = Obs.Metrics.snapshot () in
   let t0 = Unix.gettimeofday () in
   let value = ref None in
   let outcome = Vm.Engine.run vm (fun () -> value := Some (main ())) in
   let wall = Unix.gettimeofday () -. t0 in
-  ( { helgrind; djit; lock_order; outcome; oracle = None; wall_seconds = wall },
+  let metrics = Obs.Metrics.diff ~before (Obs.Metrics.snapshot ()) in
+  ( { helgrind; djit; lock_order; outcome; oracle = None; wall_seconds = wall; metrics },
     !value )
 
 (** Run one of the eight SIP test cases. *)

@@ -10,6 +10,7 @@
 module Vm = Raceguard_vm
 module Det = Raceguard_detector
 module Sip = Raceguard_sip
+module Obs = Raceguard_obs
 
 type config = {
   seed : int;
@@ -21,6 +22,9 @@ type config = {
   server : Sip.Proxy.config;
   trace_events : bool;
   max_ops : int;
+  tracer : Obs.Trace.t option;
+      (** installed on the VM and on every Helgrind instance, so one
+          ring receives both VM events and detector decisions *)
 }
 
 val default : config
@@ -35,6 +39,9 @@ type result = {
   oracle : Sip.Workload.run_result option;
       (** functional verdict when the run was a SIP test case *)
   wall_seconds : float;
+  metrics : Obs.Metrics.snapshot;
+      (** this run's delta of the process-global metrics registry
+          (VM counters, detector fast-path hits, lockset memo stats) *)
 }
 
 val run_main : config -> (unit -> 'a) -> result * 'a option

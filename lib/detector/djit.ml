@@ -102,6 +102,7 @@ let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc ~(prev : last_access) =
         Fmt.str "Conflicts with unordered access by thread %d at %a" prev.a_tid Loc.pp prev.a_loc;
       block;
       clock = ctx.clock ();
+      provenance = None;
     }
 
 let check_read t ctx ~tid ~addr ~loc =

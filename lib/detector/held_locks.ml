@@ -18,6 +18,13 @@ type ctx = {
   write_bus : Lockset.t;
 }
 
+module Metrics = Raceguard_obs.Metrics
+
+let m_ctx_count = Metrics.gauge "detector.held_locks.ctx_count"
+let m_transition_hits = Metrics.counter "detector.held_locks.transition_memo_hits"
+let m_transition_misses = Metrics.counter "detector.held_locks.transition_memo_misses"
+let m_nonlifo_releases = Metrics.counter "detector.held_locks.nonlifo_releases"
+
 let ctx_count = ref 1
 
 let root =
@@ -31,14 +38,18 @@ let transitions : (int, ctx) Hashtbl.t = Hashtbl.create 256
 let fresh_ctx ~any_set ~any_bus ~write_set ~write_bus =
   let c = { c_id = !ctx_count; any_set; any_bus; write_set; write_bus } in
   incr ctx_count;
+  Metrics.set m_ctx_count !ctx_count;
   c
 
 let transition c uid (mode : Raceguard_vm.Eff.mode) =
   let mode_bit = match mode with Raceguard_vm.Eff.Write_mode -> 1 | Read_mode -> 0 in
   let key = (c.c_id lsl 26) lor (uid lsl 1) lor mode_bit in
   match Hashtbl.find transitions key with
-  | c' -> c'
+  | c' ->
+      Metrics.incr m_transition_hits;
+      c'
   | exception Not_found ->
+      Metrics.incr m_transition_misses;
       let c' =
         match mode with
         | Raceguard_vm.Eff.Write_mode ->
@@ -105,6 +116,7 @@ let release t uid =
       t.ctx <- s.s_ctx;
       t.snaps <- rest
   | _ ->
+      Metrics.incr m_nonlifo_releases;
       t.snaps <- [];
       t.held_any <- remove_one uid t.held_any;
       t.held_write <- remove_one uid t.held_write;

@@ -42,7 +42,17 @@
 
 module Loc = Raceguard_util.Loc
 module Vm = Raceguard_vm
+module Metrics = Raceguard_obs.Metrics
+module Trace = Raceguard_obs.Trace
 open Vm.Event
+
+(* Process-global instruments (one registration per process); the
+   per-instance [accesses_checked]/[fast_hits] counters below remain
+   for per-detector introspection, these aggregate across instances. *)
+let m_accesses = Metrics.counter "detector.helgrind.accesses_checked"
+let m_fast_hits = Metrics.counter "detector.helgrind.fast_path_hits"
+let m_transitions = Metrics.counter "detector.helgrind.state_transitions"
+let m_warnings = Metrics.counter "detector.helgrind.warnings"
 
 type bus_model =
   | Locked_mutex  (** original Helgrind: a mutex around LOCK-prefixed ops *)
@@ -64,6 +74,12 @@ type config = {
   fast_path : bool;
       (** short-circuit the state machine when a word's steady state
           provably cannot change or warn; never alters reports *)
+  provenance : bool;
+      (** record the shadow-state transition history of every word and
+          attach it to warnings as {!Report.provenance}.  History is
+          only appended on {e genuine} state changes — exactly the
+          steps the fast path cannot skip — so it is byte-identical
+          with [fast_path] on or off. *)
 }
 
 (** The three configurations evaluated in Figures 5/6. *)
@@ -77,6 +93,7 @@ let original =
     report_reads = true;
     hb_annotations = false;
     fast_path = true;
+    provenance = false;
   }
 
 let hwlc = { original with bus_model = Rw_lock; track_rwlocks = true }
@@ -100,6 +117,25 @@ let pp_config_name ppf c =
   let base = if c.thread_segments then base else base ^ "-noTS" in
   let base = if c.hb_annotations then base ^ "+HB" else base in
   Fmt.string ppf base
+
+(** Full config echo for machine-readable outputs (bench rows, explain
+    JSON) — every knob, not just the derived display name. *)
+let config_to_json c =
+  let module J = Raceguard_obs.Json in
+  J.Obj
+    [
+      ("name", J.Str (Fmt.str "%a" pp_config_name c));
+      ( "bus_model",
+        J.Str (match c.bus_model with Locked_mutex -> "locked_mutex" | Rw_lock -> "rw_lock") );
+      ("destructor_annotations", J.Bool c.destructor_annotations);
+      ("thread_segments", J.Bool c.thread_segments);
+      ("track_rwlocks", J.Bool c.track_rwlocks);
+      ("eraser_states", J.Bool c.eraser_states);
+      ("report_reads", J.Bool c.report_reads);
+      ("hb_annotations", J.Bool c.hb_annotations);
+      ("fast_path", J.Bool c.fast_path);
+      ("provenance", J.Bool c.provenance);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Shadow state                                                        *)
@@ -131,6 +167,14 @@ type cell = {
   mutable f_any : Lockset.t;
   mutable f_write : Lockset.t;
   mutable f_wrote : bool;  (** last stamped access was a write *)
+  (* provenance history (config.provenance only): genuine state
+     transitions of this word since its last allocation, newest first,
+     capped at [max_history] with an overflow count.  "Genuine" means
+     the stored state actually changed — precisely the steps the fast
+     path can never skip, so the history is mode-independent. *)
+  mutable hist : Report.transition list;
+  mutable hist_len : int;
+  mutable hist_dropped : int;
 }
 
 type t = {
@@ -145,6 +189,9 @@ type t = {
   mutable benign : (int * int) list;
   mutable accesses_checked : int;
   mutable fast_hits : int;
+  mutable tracer : Trace.t option;
+      (** when set, state transitions / warnings / fast-path skips are
+          offered to the (sampling) ring tracer *)
   mutable warning_filter : (tid:int -> addr:int -> kind:Report.kind -> bool) option;
       (** when set, a warning is only recorded if the filter agrees —
           the composition hook used by the {!Hybrid} detector *)
@@ -161,10 +208,12 @@ let create ?(suppressions = []) config =
     benign = [];
     accesses_checked = 0;
     fast_hits = 0;
+    tracer = None;
     warning_filter = None;
   }
 
 let set_warning_filter t f = t.warning_filter <- Some f
+let set_tracer t tr = t.tracer <- Some tr
 
 let reports t = Report.occurrences t.collector
 let locations t = Report.locations t.collector
@@ -190,7 +239,16 @@ let thread_locks t tid =
   end;
   Array.unsafe_get t.locks tid
 
-let fresh_cell () = { st = Virgin; f_any = Lockset.top; f_write = Lockset.top; f_wrote = false }
+let fresh_cell () =
+  {
+    st = Virgin;
+    f_any = Lockset.top;
+    f_write = Lockset.top;
+    f_wrote = false;
+    hist = [];
+    hist_len = 0;
+    hist_dropped = 0;
+  }
 
 let cell t addr =
   let n = Array.length t.shadow in
@@ -212,7 +270,47 @@ let is_benign t addr = List.exists (fun (base, len) -> addr >= base && addr < ba
 
 type access = Read | Write
 
-let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc ~prev_state =
+(** History entries kept per word before truncation; Virgin →
+    Exclusive → Shared plus a handful of refinements fit comfortably,
+    and the elided count preserves the information that more
+    happened. *)
+let max_history = 12
+
+(* Append one genuine transition to the cell's history and offer it to
+   the tracer.  Callers only invoke this when the stored state actually
+   changes — precisely the steps the fast path can never skip — so the
+   recorded history is byte-identical across fast-path modes. *)
+let record_transition t (ctx : Vm.Tool.ctx) c ~tid ~access ~from_st ~to_st ~loc =
+  Metrics.incr m_transitions;
+  let render st = Fmt.str "%a" (pp_state ~name_of:(name_of t)) st in
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.emit tr ~ts:(ctx.clock ()) ~tid ~name:"state_transition" ~cat:"detector"
+        ~args:
+          [
+            ("from", Raceguard_obs.Json.Str (render from_st));
+            ("to", Raceguard_obs.Json.Str (render to_st));
+            ("access", Raceguard_obs.Json.Str access);
+          ]
+        ());
+  if t.config.provenance then
+    if c.hist_len >= max_history then c.hist_dropped <- c.hist_dropped + 1
+    else begin
+      c.hist <-
+        {
+          Report.t_clock = ctx.clock ();
+          t_tid = tid;
+          t_access = access;
+          t_from = render from_st;
+          t_to = render to_st;
+          t_loc = loc;
+        }
+        :: c.hist;
+      c.hist_len <- c.hist_len + 1
+    end
+
+let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc ~prev_state ~cell:c =
   let block =
     match ctx.block_of addr with
     | Some (b : Vm.Memory.block) ->
@@ -226,6 +324,23 @@ let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc ~prev_state =
     | None -> None
   in
   let stack = loc :: ctx.stack_of tid in
+  Metrics.incr m_warnings;
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.emit tr ~ts:(ctx.clock ()) ~tid ~name:"warning" ~cat:"detector"
+        ~args:[ ("addr", Raceguard_obs.Json.int addr) ]
+        ());
+  let provenance =
+    if t.config.provenance then
+      Some
+        {
+          Report.p_history = List.rev c.hist;
+          p_dropped = c.hist_dropped;
+          p_suppressed_by = [];
+        }
+    else None
+  in
   Report.add t.collector
     {
       Report.kind;
@@ -236,6 +351,7 @@ let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc ~prev_state =
       detail = Fmt.str "Previous state: %a" (pp_state ~name_of:(name_of t)) prev_state;
       block;
       clock = ctx.clock ();
+      provenance;
     }
 
 (* Fast-path soundness: the stamp records the interned effective sets
@@ -252,13 +368,19 @@ let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc ~prev_state =
    the same lock share the same interned sets and all hit. *)
 let check_access t ctx ~access ~tid ~addr ~atomic ~loc =
   t.accesses_checked <- t.accesses_checked + 1;
+  Metrics.incr m_accesses;
   let c = cell t addr in
   match c.st with
   | Exclusive o
     when t.config.fast_path && o.o_tid = tid && o.o_seg = Segments.seg_of t.segments tid ->
       (* steady-state exclusive: the slow path would rewrite the owner
          with identical fields and cannot warn *)
-      t.fast_hits <- t.fast_hits + 1
+      t.fast_hits <- t.fast_hits + 1;
+      Metrics.incr m_fast_hits;
+      (match t.tracer with
+      | None -> ()
+      | Some tr ->
+          Trace.emit tr ~ts:(ctx.Vm.Tool.clock ()) ~tid ~name:"fast_skip" ~cat:"detector" ())
   | prev -> (
       let lc = (thread_locks t tid).Held_locks.ctx in
       let any_set =
@@ -277,15 +399,28 @@ let check_access t ctx ~access ~tid ~addr ~atomic ~loc =
             c.f_wrote && c.f_write == write_set && not (Lockset.is_empty ls)
         | _ -> false
       in
-      if fast then t.fast_hits <- t.fast_hits + 1
+      if fast then begin
+        t.fast_hits <- t.fast_hits + 1;
+        Metrics.incr m_fast_hits;
+        match t.tracer with
+        | None -> ()
+        | Some tr -> Trace.emit tr ~ts:(ctx.Vm.Tool.clock ()) ~tid ~name:"fast_skip" ~cat:"detector" ()
+      end
       else begin
         let seg = Segments.seg_of t.segments tid in
+        let access_s = match access with Read -> "read" | Write -> "write" in
+        (* record-then-store, so the warning issued just below sees its
+           own transition at the end of the history *)
+        let set_st to_st =
+          record_transition t ctx c ~tid ~access:access_s ~from_st:prev ~to_st ~loc:(Some loc);
+          c.st <- to_st
+        in
         let warn kind ls =
           if
             Lockset.is_empty ls
             && (not (is_benign t addr))
             && (match t.warning_filter with None -> true | Some f -> f ~tid ~addr ~kind)
-          then report t ctx ~kind ~tid ~addr ~loc ~prev_state:prev
+          then report t ctx ~kind ~tid ~addr ~loc ~prev_state:prev ~cell:c
         in
         (if not t.config.eraser_states then begin
            (* pure Eraser: C(v) starts at Top and is refined by every access *)
@@ -295,48 +430,56 @@ let check_access t ctx ~access ~tid ~addr ~atomic ~loc =
              | Read -> Lockset.inter ls_prev any_set
              | Write -> Lockset.inter ls_prev write_set
            in
-           (match access with
+           (match prev with
+           | Shared_mod ls0 when ls0 == ls -> ()  (* interned: same set, same state *)
+           | _ -> set_st (Shared_mod ls));
+           match access with
            | Read -> warn Report.Race_read ls
-           | Write -> warn Report.Race_write ls);
-           c.st <- Shared_mod ls
+           | Write -> warn Report.Race_write ls
          end
          else
            match prev with
-           | Virgin -> c.st <- Exclusive { o_tid = tid; o_seg = seg }
+           | Virgin -> set_st (Exclusive { o_tid = tid; o_seg = seg })
            | Exclusive o ->
-               if o.o_tid = tid then c.st <- Exclusive { o_tid = tid; o_seg = seg }
+               if o.o_tid = tid then begin
+                 (* same owner: only a segment advance is a genuine
+                    change (and the only case the fast path lets
+                    through here) *)
+                 if o.o_seg <> seg then set_st (Exclusive { o_tid = tid; o_seg = seg })
+               end
                else if t.config.thread_segments && Segments.happens_before t.segments o.o_seg seg
                then
                  (* ownership passes to the later segment; stays exclusive *)
-                 c.st <- Exclusive { o_tid = tid; o_seg = seg }
+                 set_st (Exclusive { o_tid = tid; o_seg = seg })
                else begin
                  (* second thread: initialise the candidate set with the locks
                     active at this access and start checking *)
                  match access with
-                 | Read -> c.st <- Shared_ro any_set
+                 | Read -> set_st (Shared_ro any_set)
                  | Write ->
-                     warn Report.Race_write write_set;
-                     c.st <- Shared_mod write_set
+                     set_st (Shared_mod write_set);
+                     warn Report.Race_write write_set
                end
            | Shared_ro ls -> (
                match access with
                | Read ->
                    let ls' = Lockset.inter ls any_set in
-                   if ls' != ls then c.st <- Shared_ro ls'
+                   if ls' != ls then set_st (Shared_ro ls')
                | Write ->
                    let ls = Lockset.inter ls write_set in
-                   warn Report.Race_write ls;
-                   c.st <- Shared_mod ls)
+                   set_st (Shared_mod ls);
+                   warn Report.Race_write ls
+               )
            | Shared_mod ls -> (
                match access with
                | Read ->
                    let ls' = Lockset.inter ls any_set in
-                   if t.config.report_reads then warn Report.Race_read ls';
-                   if ls' != ls then c.st <- Shared_mod ls'
+                   if ls' != ls then set_st (Shared_mod ls');
+                   if t.config.report_reads then warn Report.Race_read ls'
                | Write ->
                    let ls' = Lockset.inter ls write_set in
-                   warn Report.Race_write ls';
-                   if ls' != ls then c.st <- Shared_mod ls'));
+                   if ls' != ls then set_st (Shared_mod ls');
+                   warn Report.Race_write ls'));
         c.f_any <- any_set;
         c.f_write <- write_set;
         c.f_wrote <- access = Write
@@ -364,7 +507,13 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
         let c = Array.unsafe_get t.shadow a in
         c.st <- Virgin;
         c.f_any <- Lockset.top;
-        c.f_wrote <- false
+        c.f_wrote <- false;
+        if c.hist_len > 0 then begin
+          (* recycled memory starts a fresh provenance life *)
+          c.hist <- [];
+          c.hist_len <- 0;
+          c.hist_dropped <- 0
+        end
       done
   | E_free _ -> ()
   | E_sync_create { sync; name; _ } -> (
@@ -387,7 +536,7 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
   | E_cond_signal _ | E_cond_wait_pre _ | E_cond_wait_post _ | E_sem_post _ | E_sem_wait_post _
     ->
       ()  (* the lock-set algorithm is blind to these — §4.2.3 *)
-  | E_client { tid; req; _ } -> (
+  | E_client { tid; req; loc } -> (
       match req with
       | Vm.Eff.Destruct { addr; len } ->
           if t.config.destructor_annotations then begin
@@ -398,6 +547,12 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
             let seg = Segments.seg_of t.segments tid in
             for a = addr to addr + len - 1 do
               let c = cell t a in
+              (match c.st with
+              | Exclusive o when o.o_tid = tid && o.o_seg = seg -> ()
+              | prev ->
+                  record_transition t ctx c ~tid ~access:"destruct" ~from_st:prev
+                    ~to_st:(Exclusive { o_tid = tid; o_seg = seg })
+                    ~loc:(Some loc));
               c.st <- Exclusive { o_tid = tid; o_seg = seg };
               c.f_any <- Lockset.top;
               c.f_wrote <- false

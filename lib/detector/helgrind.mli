@@ -46,6 +46,12 @@ type config = {
           stamp (thread, segment, interned lock-sets) shows the
           transition is a no-op that cannot warn; on by default and
           guaranteed not to alter reports *)
+  provenance : bool;
+      (** record each word's shadow-state transition history and attach
+          it to warnings as {!Report.provenance}; recorded only on
+          genuine state changes, so the history is byte-identical with
+          [fast_path] on or off.  Off by default (costs memory and
+          rendering on state changes). *)
 }
 
 val original : config
@@ -65,6 +71,10 @@ val pure_eraser : config
 
 val pp_config_name : Format.formatter -> config -> unit
 
+val config_to_json : config -> Raceguard_obs.Json.t
+(** Every knob of the configuration, for machine-readable outputs
+    (bench row config echo, explain JSON). *)
+
 (** {1 Running} *)
 
 type t
@@ -81,6 +91,10 @@ val on_event : t -> Raceguard_vm.Tool.ctx -> Raceguard_vm.Event.t -> unit
 val set_warning_filter : t -> (tid:int -> addr:int -> kind:Report.kind -> bool) -> unit
 (** Install a gate consulted before each warning is recorded; used by
     {!Hybrid} to require happens-before concurrence. *)
+
+val set_tracer : t -> Raceguard_obs.Trace.t -> unit
+(** Offer detector decisions (state transitions, warnings, fast-path
+    skips) to a sampling ring tracer; off unless installed. *)
 
 (** {1 Results} *)
 

@@ -88,6 +88,7 @@ let report_cycle t (ctx : Vm.Tool.ctx) ~tid ~held_uid ~new_uid ~loc =
             (name_of t new_uid) (name_of t held_uid) other;
         block = None;
         clock = ctx.clock ();
+        provenance = None;
       }
   end
 

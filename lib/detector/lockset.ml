@@ -15,6 +15,15 @@
     the universe. *)
 
 module Iss = Raceguard_util.Int_sorted_set
+module Metrics = Raceguard_obs.Metrics
+
+(* The single stats path: these instruments live in the process-global
+   registry; [stats ()] reads the same handles, so E9, the bench and
+   the runner all see one source of truth. *)
+let m_interned = Metrics.gauge "detector.lockset.interned"
+let m_inter_memo_entries = Metrics.gauge "detector.lockset.inter_memo_entries"
+let m_memo_hits = Metrics.counter "detector.lockset.inter_memo_hits"
+let m_memo_misses = Metrics.counter "detector.lockset.inter_memo_misses"
 
 type repr = Top | Set of Iss.t
 type t = { id : int; repr : repr }
@@ -50,6 +59,7 @@ let intern (s : Iss.t) =
         let t = { id = !next_id; repr = Set s } in
         incr next_id;
         Intern.add table s t;
+        Metrics.set m_interned (!next_id - 2);
         t
 
 let of_list l = intern (Iss.of_list l)
@@ -66,8 +76,6 @@ module Memo = Hashtbl.Make (struct
 end)
 
 let inter_memo : t Memo.t = Memo.create 1024
-let memo_hits = ref 0
-let memo_misses = ref 0
 
 let inter a b =
   if a == b then a
@@ -83,12 +91,13 @@ let inter a b =
            path, and hits dominate after warm-up *)
         match Memo.find inter_memo key with
         | r ->
-            incr memo_hits;
+            Metrics.incr m_memo_hits;
             r
         | exception Not_found ->
-            incr memo_misses;
+            Metrics.incr m_memo_misses;
             let r = intern (Iss.inter sa sb) in
             Memo.add inter_memo key r;
+            Metrics.set m_inter_memo_entries (Memo.length inter_memo);
             r)
 
 let union a b =
@@ -140,7 +149,10 @@ let to_list t = match t.repr with Top -> None | Set s -> Some (Iss.to_list s)
 let interned_count () = !next_id - 2
 
 let stats () =
-  (interned_count (), Memo.length inter_memo, !memo_hits, !memo_misses)
+  ( interned_count (),
+    Memo.length inter_memo,
+    Metrics.counter_value m_memo_hits,
+    Metrics.counter_value m_memo_misses )
 
 let pp ~name_of ppf t =
   match t.repr with

@@ -120,6 +120,7 @@ let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc (c : cell) =
           c.lockset;
       block;
       clock = ctx.clock ();
+      provenance = None;
     }
 
 type access = Read | Write

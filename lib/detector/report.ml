@@ -25,6 +25,34 @@ type block_info = {
   b_alloc_stack : Loc.t list;
 }
 
+(* --- provenance ---------------------------------------------------- *)
+
+(** One shadow-state transition of the warned address.  The state and
+    lock-set renderings are produced by the detector at transition time
+    (it owns the lock-name table), which also makes byte-stability
+    across the fast path trivial to check: the strings either match or
+    they don't. *)
+type transition = {
+  t_clock : int;
+  t_tid : int;
+  t_access : string;  (** "read" / "write" / "destruct" *)
+  t_from : string;  (** rendered state before, e.g. "shared RO, {\"m\"}" *)
+  t_to : string;  (** rendered state after *)
+  t_loc : Loc.t option;
+}
+
+type provenance = {
+  p_history : transition list;
+      (** shadow-state evolution of the warned address since its last
+          allocation, oldest first, truncated to the first
+          [max_history] genuine transitions *)
+  p_dropped : int;  (** transitions beyond the truncation bound *)
+  mutable p_suppressed_by : string list;
+      (** config knobs (e.g. "hwlc", "dr") whose enabling removes this
+          warning's signature; filled in by [Explain], empty until
+          then *)
+}
+
 type t = {
   kind : kind;
   addr : int;
@@ -34,6 +62,7 @@ type t = {
   detail : string;  (** e.g. "Previous state: shared RO, no locks" *)
   block : block_info option;
   clock : int;
+  provenance : provenance option;
 }
 
 (* --- signatures ---------------------------------------------------- *)
@@ -65,6 +94,74 @@ let pp ppf r =
       pp_stack ppf (take signature_depth b.b_alloc_stack)
   | None -> ());
   if r.detail <> "" then Fmt.pf ppf " %s@\n" r.detail
+
+(* Provenance rendering is kept out of [pp] on purpose: [pp] output is
+   compared byte-for-byte by the fast-path fidelity tests and by users
+   diffing runs, so the explain trace is an opt-in second section. *)
+let pp_provenance ppf (p : provenance) =
+  Fmt.pf ppf " Shadow-state history of the warned address:@\n";
+  List.iter
+    (fun tr ->
+      Fmt.pf ppf "   clock %-6d thread %-3d %-8s %s -> %s%a@\n" tr.t_clock tr.t_tid tr.t_access
+        tr.t_from tr.t_to
+        (fun ppf -> function None -> () | Some l -> Fmt.pf ppf "  (%a)" Loc.pp l)
+        tr.t_loc)
+    p.p_history;
+  if p.p_dropped > 0 then Fmt.pf ppf "   ... %d further transitions elided@\n" p.p_dropped;
+  match p.p_suppressed_by with
+  | [] -> ()
+  | ks -> Fmt.pf ppf " Suppressed by enabling: %s@\n" (String.concat ", " ks)
+
+module Json = Raceguard_obs.Json
+
+let loc_to_json (l : Loc.t) = Json.Str (Fmt.str "%a" Loc.pp l)
+
+let transition_to_json tr =
+  Json.Obj
+    ([
+       ("clock", Json.int tr.t_clock);
+       ("tid", Json.int tr.t_tid);
+       ("access", Json.Str tr.t_access);
+       ("from", Json.Str tr.t_from);
+       ("to", Json.Str tr.t_to);
+     ]
+    @ match tr.t_loc with None -> [] | Some l -> [ ("loc", loc_to_json l) ])
+
+let provenance_to_json p =
+  Json.Obj
+    [
+      ("history", Json.List (List.map transition_to_json p.p_history));
+      ("dropped", Json.int p.p_dropped);
+      ("suppressed_by", Json.List (List.map (fun k -> Json.Str k) p.p_suppressed_by));
+    ]
+
+let to_json r =
+  Json.Obj
+    ([
+       ("kind", Json.Str (Fmt.str "%a" pp_kind r.kind));
+       ("addr", Json.int r.addr);
+       ("tid", Json.int r.tid);
+       ("thread", Json.Str r.thread_name);
+       ("clock", Json.int r.clock);
+       ("stack", Json.List (List.map loc_to_json r.stack));
+       ("detail", Json.Str r.detail);
+     ]
+    @ (match r.block with
+      | None -> []
+      | Some b ->
+          [
+            ( "block",
+              Json.Obj
+                [
+                  ("base", Json.int b.b_base);
+                  ("len", Json.int b.b_len);
+                  ("alloc_tid", Json.int b.b_alloc_tid);
+                ] );
+          ])
+    @
+    match r.provenance with
+    | None -> []
+    | Some p -> [ ("provenance", provenance_to_json p) ])
 
 (* --- collector ------------------------------------------------------ *)
 

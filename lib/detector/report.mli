@@ -21,6 +21,28 @@ type block_info = {
   b_alloc_stack : Loc.t list;
 }
 
+(** {1 Provenance}
+
+    The explain-trace attached to a warning: the shadow-state
+    transition history of the warned address (as recorded by the
+    detector when its [provenance] config knob is on) plus, after an
+    [Explain] pass, the config knobs that would suppress it. *)
+
+type transition = {
+  t_clock : int;
+  t_tid : int;
+  t_access : string;  (** "read" / "write" / "destruct" *)
+  t_from : string;  (** rendered state before *)
+  t_to : string;  (** rendered state after *)
+  t_loc : Loc.t option;
+}
+
+type provenance = {
+  p_history : transition list;  (** oldest first, bounded *)
+  p_dropped : int;
+  mutable p_suppressed_by : string list;  (** filled in by [Explain] *)
+}
+
 type t = {
   kind : kind;
   addr : int;
@@ -30,6 +52,7 @@ type t = {
   detail : string;  (** e.g. ["Previous state: shared RO, no locks"] *)
   block : block_info option;  (** the Figure-9 allocation footer *)
   clock : int;
+  provenance : provenance option;
 }
 
 val signature_depth : int
@@ -42,7 +65,19 @@ val signature : t -> signature
 
 val pp : Format.formatter -> t -> unit
 (** Valgrind-style rendering: headline, "at/by" stack, allocation
-    footer, previous-state line. *)
+    footer, previous-state line.  Deliberately does {e not} render
+    provenance — the byte-stability tests compare this output across
+    fast-path modes, and provenance is an opt-in second section. *)
+
+val pp_provenance : Format.formatter -> provenance -> unit
+(** The explain trace: one line per shadow-state transition, the elided
+    count, and the suppressing knobs if an [Explain] pass filled them
+    in. *)
+
+val transition_to_json : transition -> Raceguard_obs.Json.t
+val provenance_to_json : provenance -> Raceguard_obs.Json.t
+val to_json : t -> Raceguard_obs.Json.t
+(** Machine-readable form of the full report, provenance included. *)
 
 (** {1 Collector} *)
 

@@ -1,0 +1,197 @@
+(** Metrics registry: named counters, gauges and log2-bucket
+    histograms.
+
+    Design constraints, in order:
+
+    - The hot path (detector per-access code, VM event dispatch) must
+      pay one [t.v <- t.v + 1] per increment — no hashing, no
+      allocation.  Handles are therefore created once (registration
+      hashes the name) and incremented through a mutable record field.
+    - Runs happen back-to-back in one process (bench rows, the runner's
+      multi-config sweeps), so consumers need per-run deltas from
+      process-global counters: [snapshot] + [diff].
+    - Merging snapshots from independent runs must be associative and
+      commutative so aggregation order can't change results (tested by
+      qcheck in [test/test_obs.ml]): counters and histogram buckets
+      add; gauges keep the max.
+
+    Histograms bucket by log2: value [v] lands in bucket
+    [bucket_of_value v]; bucket [i] covers [2^(i-1) .. 2^i - 1] (bucket
+    0 covers values <= 0 — nothing in this codebase records negatives,
+    they are clamped). *)
+
+let buckets = 64
+
+type counter = { c_name : string; mutable c_v : int }
+type gauge = { g_name : string; mutable g_v : int }
+type histogram = { h_name : string; h_buckets : int array; mutable h_count : int; mutable h_sum : int }
+
+type registry = {
+  mutable counters : counter list;
+  mutable gauges : gauge list;
+  mutable histograms : histogram list;
+  tbl : (string, unit) Hashtbl.t; (* duplicate-name guard *)
+}
+
+let create () = { counters = []; gauges = []; histograms = []; tbl = Hashtbl.create 64 }
+
+(* One process-wide registry.  Library code registers its instruments
+   here at module-init or first use; consumers take before/after
+   snapshots and [diff] them. *)
+let default = create ()
+
+let check_fresh r name =
+  if Hashtbl.mem r.tbl name then
+    invalid_arg (Printf.sprintf "Obs.Metrics: duplicate instrument %S" name);
+  Hashtbl.replace r.tbl name ()
+
+let counter ?(registry = default) name =
+  check_fresh registry name;
+  let c = { c_name = name; c_v = 0 } in
+  registry.counters <- c :: registry.counters;
+  c
+
+let gauge ?(registry = default) name =
+  check_fresh registry name;
+  let g = { g_name = name; g_v = 0 } in
+  registry.gauges <- g :: registry.gauges;
+  g
+
+let histogram ?(registry = default) name =
+  check_fresh registry name;
+  let h = { h_name = name; h_buckets = Array.make buckets 0; h_count = 0; h_sum = 0 } in
+  registry.histograms <- h :: registry.histograms;
+  h
+
+let incr c = c.c_v <- c.c_v + 1
+let add c n = c.c_v <- c.c_v + n
+let counter_value c = c.c_v
+let set g v = g.g_v <- v
+let gauge_value g = g.g_v
+
+let bucket_of_value v =
+  if v <= 0 then 0
+  else
+    (* index of the highest set bit, + 1; v=1 -> 1, v=2..3 -> 2, ... *)
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
+    min (buckets - 1) (go v 0)
+
+let observe h v =
+  let v = max 0 v in
+  let b = bucket_of_value v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_data = { buckets : int array; count : int; sum : int }
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * int) list;
+  s_histograms : (string * hist_data) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot ?(registry = default) () =
+  {
+    s_counters = List.sort by_name (List.map (fun c -> (c.c_name, c.c_v)) registry.counters);
+    s_gauges = List.sort by_name (List.map (fun g -> (g.g_name, g.g_v)) registry.gauges);
+    s_histograms =
+      List.sort by_name
+        (List.map
+           (fun h ->
+             (h.h_name, { buckets = Array.copy h.h_buckets; count = h.h_count; sum = h.h_sum }))
+           registry.histograms);
+  }
+
+let empty = { s_counters = []; s_gauges = []; s_histograms = [] }
+
+(* Merge two sorted assoc lists with a per-value combiner; names in
+   either side survive.  Keeping the result sorted keeps merge
+   associative/commutative structurally. *)
+let rec merge_assoc f xs ys =
+  match (xs, ys) with
+  | [], l | l, [] -> l
+  | (kx, vx) :: xs', (ky, vy) :: ys' ->
+      let c = String.compare kx ky in
+      if c = 0 then (kx, f vx vy) :: merge_assoc f xs' ys'
+      else if c < 0 then (kx, vx) :: merge_assoc f xs' ys
+      else (ky, vy) :: merge_assoc f xs ys'
+
+let merge_hist a b =
+  {
+    buckets = Array.init buckets (fun i -> a.buckets.(i) + b.buckets.(i));
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+  }
+
+let merge a b =
+  {
+    s_counters = merge_assoc ( + ) a.s_counters b.s_counters;
+    s_gauges = merge_assoc max a.s_gauges b.s_gauges;
+    s_histograms = merge_assoc merge_hist a.s_histograms b.s_histograms;
+  }
+
+(* [diff ~before after]: per-run delta of the monotonic instruments.
+   Counters and histogram buckets subtract (clamped at 0 in case an
+   instrument was registered between the snapshots); gauges keep the
+   [after] level — a gauge is a level, not a rate. *)
+let diff ~before after =
+  let sub_c name v = v - (match List.assoc_opt name before.s_counters with Some b -> b | None -> 0) in
+  let sub_h name (h : hist_data) =
+    match List.assoc_opt name before.s_histograms with
+    | None -> h
+    | Some b ->
+        {
+          buckets = Array.init buckets (fun i -> max 0 (h.buckets.(i) - b.buckets.(i)));
+          count = max 0 (h.count - b.count);
+          sum = max 0 (h.sum - b.sum);
+        }
+  in
+  {
+    s_counters = List.map (fun (k, v) -> (k, max 0 (sub_c k v))) after.s_counters;
+    s_gauges = after.s_gauges;
+    s_histograms = List.map (fun (k, h) -> (k, sub_h k h)) after.s_histograms;
+  }
+
+let find_counter s name = List.assoc_opt name s.s_counters
+let find_gauge s name = List.assoc_opt name s.s_gauges
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let hist_to_json h =
+  (* Sparse bucket encoding: [[bucket, count], ...] for non-empty
+     buckets only, so 64 mostly-zero slots don't bloat the output. *)
+  let bs = ref [] in
+  for i = buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then bs := Json.List [ Json.int i; Json.int h.buckets.(i) ] :: !bs
+  done;
+  Json.Obj [ ("count", Json.int h.count); ("sum", Json.int h.sum); ("buckets", Json.List !bs) ]
+
+let to_json s =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) s.s_counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) s.s_gauges));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) s.s_histograms));
+    ]
+
+let pp ppf s =
+  let non_zero = List.filter (fun (_, v) -> v <> 0) in
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-44s %d@," k v) (non_zero s.s_counters);
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-44s %d@," k v) (non_zero s.s_gauges);
+  List.iter
+    (fun (k, h) ->
+      if h.count > 0 then
+        Fmt.pf ppf "%-44s count=%d sum=%d mean=%.1f@," k h.count h.sum
+          (float_of_int h.sum /. float_of_int h.count))
+    s.s_histograms;
+  Fmt.pf ppf "@]"

@@ -121,4 +121,17 @@ let start t =
 let stop t = ignore (Api.atomic_rmw ~loc:(lc "stop" 105) t.stop_flag (fun _ -> 1))
 
 let join t = Api.join ~loc:(lc "join" 107) t.thread
+
+(** Destructor: drain whatever is still enqueued into [lines], exactly
+    as the logger thread would have.  Shutdown orderings that race the
+    logger (B3 destroys [Stats] before stopping us) must not silently
+    drop buffered records — the ordering bug itself stays injected (the
+    flush still bumps the possibly-destroyed statistics, which is the
+    report site), but every enqueued line reaches the sink. *)
+let destroy t =
+  Api.with_frame (lc "~Logger" 112) @@ fun () ->
+  while Msg_queue.length t.queue > 0 do
+    process_record t (Msg_queue.get t.queue)
+  done
+
 let lines t = List.rev t.lines

@@ -26,5 +26,11 @@ val stop : t -> unit
 
 val join : t -> unit
 
+val destroy : t -> unit
+(** Drain any records still enqueued into the sink.  Guarantees no
+    buffered line is silently dropped even under the B3 shutdown
+    ordering (Stats destroyed before the logger stops) — the B3 bug
+    itself stays injected; this only makes the loss impossible. *)
+
 val lines : t -> string list
 (** The host-side "log file", in order. *)

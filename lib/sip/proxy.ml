@@ -465,6 +465,9 @@ let shutdown t =
     Logger.join t.logger;
     Stats.destroy t.stats ~annotate:t.config.annotate
   end;
+  (* either way the logger's destructor flushes leftovers: B3 reorders
+     destruction but must not silently drop enqueued lines *)
+  Logger.destroy t.logger;
   match t.watchdog with
   | Some w ->
       Watchdog.stop w;

@@ -7,6 +7,7 @@
 
 module Loc = Raceguard_util.Loc
 module Api = Raceguard_vm.Api
+module Metrics = Raceguard_obs.Metrics
 
 let lc func line = Loc.v "stats.cpp" ("Stats::" ^ func) line
 
@@ -25,6 +26,41 @@ let registered_users = 5  (* locked *)
 let method_base = 6  (* 6 racy per-method counters (INVITE..OPTIONS) *)
 let n_counters = 12
 
+(* Host-side mirror in the metrics registry: reading the counters out
+   of VM memory would emit detector-visible events (and for the racy
+   words, warnings), so observers read [sip.stats.*] from the registry
+   instead, maintained at the increment sites without any VM traffic.
+   The racy VM words can lose updates by design; the mirror counts
+   every call, so it is also the ground truth the lost-update bug can
+   be measured against. *)
+let metric_name counter =
+  match counter with
+  | 0 -> "sip.stats.total_requests"
+  | 1 -> "sip.stats.total_responses"
+  | 2 -> "sip.stats.parse_errors"
+  | 3 -> "sip.stats.lines_logged"
+  | 4 -> "sip.stats.active_calls"
+  | 5 -> "sip.stats.registered_users"
+  | 6 -> "sip.stats.method_invite"
+  | 7 -> "sip.stats.method_ack"
+  | 8 -> "sip.stats.method_bye"
+  | 9 -> "sip.stats.method_cancel"
+  | 10 -> "sip.stats.method_register"
+  | 11 -> "sip.stats.method_options"
+  | _ -> "sip.stats.unknown"
+
+type mirror = C of Metrics.counter | G of Metrics.gauge
+
+let mirrors =
+  Array.init n_counters (fun i ->
+      if i = active_calls || i = registered_users then G (Metrics.gauge (metric_name i))
+      else C (Metrics.counter (metric_name i)))
+
+let mirror_adjust counter delta =
+  match mirrors.(counter) with
+  | C c -> Metrics.add c delta
+  | G g -> Metrics.set g (Metrics.gauge_value g + delta)
+
 let create () =
   {
     base = Api.alloc ~loc:(lc "Stats" 10) n_counters;
@@ -33,6 +69,7 @@ let create () =
 
 (** The racy fast-path increment: unlocked load + store. *)
 let bump_racy t counter ~loc =
+  mirror_adjust counter 1;
   let addr = t.base + counter in
   let v = Api.read ~loc addr in
   Api.write ~loc addr (v + 1)
@@ -48,8 +85,10 @@ let incr_total_responses t = bump_racy t total_responses ~loc:(lc "onResponse" 2
 let incr_parse_errors t = bump_racy t parse_errors ~loc:(lc "onParseError" 28)
 let incr_lines_logged t = bump_racy t lines_logged ~loc:(lc "onLogLine" 32)
 
-(** The correctly locked counters. *)
+(** The correctly locked counters (mirrored as registry gauges: they go
+    up and down, so a monotonic counter would be wrong). *)
 let adjust_locked t counter delta ~loc =
+  mirror_adjust counter delta;
   Api.Mutex.with_lock ~loc t.mutex (fun () ->
       let addr = t.base + counter in
       Api.write ~loc addr (Api.read ~loc addr + delta))

@@ -18,7 +18,18 @@
 module Loc = Raceguard_util.Loc
 module Rng = Raceguard_util.Rng
 module Growvec = Raceguard_util.Growvec
+module Metrics = Raceguard_obs.Metrics
+module Trace = Raceguard_obs.Trace
 open Eff
+
+(* Process-global instruments; per-run deltas come from snapshot/diff. *)
+let m_events = Metrics.counter "vm.events_emitted"
+let m_ops = Metrics.counter "vm.ops_executed"
+let m_switches = Metrics.counter "vm.scheduler_switches"
+let m_threads = Metrics.counter "vm.threads_created"
+let m_allocs = Metrics.counter "vm.memory_allocs"
+let m_deadlocks = Metrics.counter "vm.deadlocks"
+let h_thread_ops = Metrics.histogram "vm.ops_per_thread"
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling policies                                                 *)
@@ -48,10 +59,21 @@ type config = {
   reuse_memory : bool;
   trace_events : bool;  (** record the full event trace (offline analysis) *)
   max_ops : int;  (** safety valve against runaway simulations *)
+  tracer : Trace.t option;
+      (** when set, every emitted event is offered to this sampling
+          ring tracer (Chrome trace_event export); [None] costs one
+          comparison per event *)
 }
 
 let default_config =
-  { seed = 1; policy = Random_seeded; reuse_memory = true; trace_events = false; max_ops = 50_000_000 }
+  {
+    seed = 1;
+    policy = Random_seeded;
+    reuse_memory = true;
+    trace_events = false;
+    max_ops = 50_000_000;
+    tracer = None;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Threads                                                             *)
@@ -249,8 +271,34 @@ let tool_ctx t : Tool.ctx =
       t.cached_ctx <- Some ctx;
       ctx
 
+(* Static per-constructor names so tracing never renders an event it
+   is not going to sample. *)
+let event_trace_name : Event.t -> string = function
+  | Event.E_thread_start _ -> "thread_start"
+  | E_thread_exit _ -> "thread_exit"
+  | E_spawn _ -> "spawn"
+  | E_join _ -> "join"
+  | E_read _ -> "read"
+  | E_write _ -> "write"
+  | E_alloc _ -> "alloc"
+  | E_free _ -> "free"
+  | E_sync_create _ -> "sync_create"
+  | E_acquire _ -> "acquire"
+  | E_release _ -> "release"
+  | E_cond_signal _ -> "cond_signal"
+  | E_cond_wait_pre _ -> "cond_wait_pre"
+  | E_cond_wait_post _ -> "cond_wait_post"
+  | E_sem_post _ -> "sem_post"
+  | E_sem_wait_post _ -> "sem_wait_post"
+  | E_client _ -> "client_request"
+
 let emit t event =
+  Metrics.incr m_events;
   if t.config.trace_events then ignore (Growvec.push t.trace event);
+  (match t.config.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.emit tr ~ts:t.clock ~tid:(Event.tid event) ~name:(event_trace_name event) ~cat:"vm" ());
   let ctx = tool_ctx t in
   List.iter (fun (tool : Tool.t) -> tool.on_event ctx event) t.tools
 
@@ -813,6 +861,12 @@ let run t main =
       (fun acc th -> match th.failure with Some e -> (th.tid, th.name, e) :: acc | None -> acc)
       [] t.threads
   in
+  Metrics.add m_ops t.ops;
+  Metrics.add m_switches t.switches;
+  Metrics.add m_threads (Growvec.length t.threads);
+  Metrics.add m_allocs (Memory.total_allocs t.memory);
+  if !deadlock <> None then Metrics.incr m_deadlocks;
+  Growvec.iter (fun (th : thread) -> Metrics.observe h_thread_ops th.ops) t.threads;
   {
     deadlock = !deadlock;
     failures = List.rev failures;

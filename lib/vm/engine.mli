@@ -28,6 +28,10 @@ type config = {
   reuse_memory : bool;  (** allocator recycles freed blocks *)
   trace_events : bool;  (** record the full event trace in the outcome *)
   max_ops : int;  (** safety valve against runaway simulations *)
+  tracer : Raceguard_obs.Trace.t option;
+      (** offer every emitted event to this sampling ring tracer
+          (Chrome trace_event export); [None] (the default) costs one
+          comparison per event *)
 }
 
 val default_config : config

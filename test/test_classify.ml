@@ -16,6 +16,7 @@ let mk_report ?(kind = Det.Report.Race_write) ?(addr = 16) ~stack () =
     block =
       Some { Det.Report.b_base = 16; b_len = 4; b_alloc_tid = 0; b_alloc_stack = [ Loc.v "a.c" "main" 1 ] };
     clock = 100;
+    provenance = None;
   }
 
 let stack1 =

@@ -16,5 +16,6 @@ let () =
       Test_explore.suite;
       Test_properties.suite;
       Test_fastpath.suite;
+      Test_obs.suite;
       Test_experiments.suite;
     ]
