@@ -411,6 +411,129 @@ let run_throughput ~quick ~seed =
       { r with r_normalized = normalized })
     rows
 
+(* --- static-hints suite --------------------------------------------- *)
+
+(* A workload engineered so the static thread-locality hints matter:
+   main keeps one long-lived buffer and re-touches every word between
+   spawn/join pairs.  Each spawn/join advances main's thread segment,
+   so without hints the first access per word per pass misses the
+   Exclusive fast path (stale segment stamp); with the buffer pre-marked
+   thread-local every access stays on the fast path.  The worker touches
+   only locals — the program is race-free, so the report digest must be
+   identical (and empty) in both rows. *)
+let hints_source =
+  {|
+fn worker(k) {
+  var i = 0;
+  while (i < 40) { i = i + k; }
+  return i;
+}
+
+fn main() {
+  var buf = alloc(64);
+  var pass = 0;
+  while (pass < 6) {
+    var i = 0;
+    while (i < 64) {
+      store(buf + i, load(buf + i) + pass);
+      i = i + 1;
+    }
+    var t = spawn worker(1);
+    join(t);
+    pass = pass + 1;
+  }
+  free(buf);
+  return 0;
+}
+|}
+
+let hints_workload_name = "minicc-hints"
+
+let hints_locs () =
+  let module M = Raceguard_minicc in
+  let ast =
+    M.Preprocess.parse (M.Preprocess.with_builtins ()) ~file:"hints.mcc" hints_source
+  in
+  let r = M.Static_race.analyse ast in
+  r.M.Static_race.hint_locs
+
+let hints_run ~seed ~hints () =
+  let module M = Raceguard_minicc in
+  let interp, _, _ = M.Interp.compile ~annotate:true ~file:"hints.mcc" hints_source in
+  let h = Det.Helgrind.create Det.Helgrind.hwlc_dr in
+  (match hints with Some locs -> Det.Helgrind.set_static_hints h locs | None -> ());
+  let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed } () in
+  Vm.Engine.add_tool vm (Det.Helgrind.tool h);
+  ignore (Vm.Engine.run vm (fun () -> M.Interp.run_main interp));
+  h
+
+let hints_configs =
+  [
+    ("minicc-hwlc+dr", Det.Helgrind.config_to_json Det.Helgrind.hwlc_dr);
+    ("minicc-hwlc+dr+static-hints", Det.Helgrind.config_to_json Det.Helgrind.hwlc_dr);
+  ]
+
+(* Two extra rows (baseline vs hinted) plus a strict gate: byte-identical
+   report digests AND a strictly higher fast-path hit rate, or exit 2. *)
+let hints_rows ~quick ~seed =
+  let locs = hints_locs () in
+  let events =
+    let module M = Raceguard_minicc in
+    let interp, _, _ = M.Interp.compile ~annotate:true ~file:"hints.mcc" hints_source in
+    let n = ref 0 in
+    let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed } () in
+    Vm.Engine.add_tool vm (Vm.Tool.of_fn "count" (fun _ -> incr n));
+    ignore (Vm.Engine.run vm (fun () -> M.Interp.run_main interp));
+    !n
+  in
+  let mk name hints =
+    let h = hints_run ~seed ~hints () in
+    let reports = Det.Helgrind.location_count h in
+    let digest = digest_sigs (sigs_of (Det.Helgrind.locations h)) in
+    let checked = Det.Helgrind.accesses_checked h in
+    let hits = Det.Helgrind.fast_path_hits h in
+    let reps = if quick then 3 else 10 in
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (hints_run ~seed ~hints ())
+    done;
+    let ns = (Sys.time () -. t0) /. float_of_int reps *. 1e9 in
+    {
+      r_workload = hints_workload_name;
+      r_config = name;
+      r_events = events;
+      r_reports = reports;
+      r_sig_digest = digest;
+      r_ns_per_run = ns;
+      r_events_per_sec = (if ns <= 0. then 0. else float_of_int events /. (ns /. 1e9));
+      r_minor_words_per_event = 0.;
+      r_normalized = 0.;
+      (* no no-tool base: excluded from the perf-regression gate *)
+      r_checked = checked;
+      r_fast_hits = hits;
+      r_interned = 0;
+      r_gc_words_per_event = 0.;
+    }
+  in
+  let base = mk "minicc-hwlc+dr" None in
+  let hinted = mk "minicc-hwlc+dr+static-hints" (Some locs) in
+  if hinted.r_sig_digest <> base.r_sig_digest then begin
+    Printf.printf "STATIC-HINTS FIDELITY FAILURE: report digest %s (hints) vs %s (baseline)\n"
+      hinted.r_sig_digest base.r_sig_digest;
+    exit 2
+  end;
+  let rate r =
+    if r.r_checked = 0 then 0. else float_of_int r.r_fast_hits /. float_of_int r.r_checked
+  in
+  if not (rate hinted > rate base) then begin
+    Printf.printf "STATIC-HINTS GATE FAILURE: fast-path hit rate %.4f (hints) <= %.4f (baseline)\n"
+      (rate hinted) (rate base);
+    exit 2
+  end;
+  Printf.printf "static-hints gate OK: fast-path hit rate %.4f -> %.4f (%d hint site(s))\n%!"
+    (rate base) (rate hinted) (List.length locs);
+  [ base; hinted ]
+
 (* --- JSON output --------------------------------------------------- *)
 
 let fl x = if Float.is_nan x || Float.is_integer x then Printf.sprintf "%.1f" x else Printf.sprintf "%.6g" x
@@ -437,12 +560,13 @@ let write_json ~out ~quick ~seed rows =
   Printf.fprintf oc "  \"seed\": %d,\n" seed;
   Printf.fprintf oc "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
   Printf.fprintf oc "  \"configs\": {\n";
-  let ns = List.length subjects in
+  let configs = List.map (fun s -> (s.s_name, s.s_config)) subjects @ hints_configs in
+  let ns = List.length configs in
   List.iteri
-    (fun i s ->
-      Printf.fprintf oc "    \"%s\": %s%s\n" s.s_name (Obs.Json.to_string s.s_config)
+    (fun i (name, cfg) ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" name (Obs.Json.to_string cfg)
         (if i = ns - 1 then "" else ","))
-    subjects;
+    configs;
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"results\": [\n";
   let n = List.length rows in
@@ -588,6 +712,7 @@ let () =
       (if !quick then "quick" else "full")
       !seed_ref;
     let rows = run_throughput ~quick:!quick ~seed:!seed_ref in
+    let rows = rows @ hints_rows ~quick:!quick ~seed:!seed_ref in
     write_json ~out:!out ~quick:!quick ~seed:!seed_ref rows;
     print_summary rows;
     Printf.printf "wrote %s\n" !out;

@@ -112,7 +112,37 @@ let explain_cmd =
     Term.(
       ret (const run $ test_arg $ json_arg $ seed_arg $ trace_arg $ sample_arg $ metrics_arg))
 
+let json_check_cmd =
+  let doc =
+    "Validate that a file parses with the project's own JSON parser and report its schema \
+     (CI smoke for machine-readable outputs)."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JSON file")
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    let module Json = Raceguard_obs.Json in
+    match Json.parse s with
+    | Ok j ->
+        let schema =
+          match j with
+          | Json.Obj fields -> (
+              match List.assoc_opt "schema" fields with
+              | Some (Json.Str s) -> s
+              | _ -> "<none>")
+          | _ -> "<not an object>"
+        in
+        Printf.printf "%s: ok (schema %s)\n" file schema;
+        `Ok ()
+    | Error e -> `Error (false, Printf.sprintf "%s: JSON parse error: %s" file e)
+  in
+  Cmd.v (Cmd.info "json-check" ~doc) Term.(ret (const run $ file_arg))
+
 let () =
   let doc = "Reproduce the tables and figures of the paper." in
   let info = Cmd.info "raceguard-experiments" ~version:"0.9" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; explain_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; explain_cmd; json_check_cmd ]))

@@ -167,6 +167,11 @@ type cell = {
   mutable f_any : Lockset.t;
   mutable f_write : Lockset.t;
   mutable f_wrote : bool;  (** last stamped access was a write *)
+  mutable f_local : bool;
+      (** statically proven thread-local (allocated at a hinted source
+          line, see {!set_static_hints}): the Exclusive fast path may
+          skip even across segment advances, because no second thread
+          can ever observe the stale segment *)
   (* provenance history (config.provenance only): genuine state
      transitions of this word since its last allocation, newest first,
      capped at [max_history] with an overflow count.  "Genuine" means
@@ -186,6 +191,9 @@ type t = {
   segments : Segments.t;
   lock_names : (int, string) Hashtbl.t;  (** uid -> name *)
   collector : Report.collector;
+  hints : (string * int, unit) Hashtbl.t;
+      (** (file, line) of allocation sites statically proven
+          thread-local; filled by {!set_static_hints} *)
   mutable benign : (int * int) list;
   mutable accesses_checked : int;
   mutable fast_hits : int;
@@ -205,6 +213,7 @@ let create ?(suppressions = []) config =
     segments = Segments.create ();
     lock_names = Hashtbl.create 64;
     collector = Report.collector ~suppressions ();
+    hints = Hashtbl.create 8;
     benign = [];
     accesses_checked = 0;
     fast_hits = 0;
@@ -213,6 +222,9 @@ let create ?(suppressions = []) config =
   }
 
 let set_warning_filter t f = t.warning_filter <- Some f
+
+let set_static_hints t locs =
+  List.iter (fun (file, line) -> Hashtbl.replace t.hints (file, line) ()) locs
 let set_tracer t tr = t.tracer <- Some tr
 
 let reports t = Report.occurrences t.collector
@@ -245,6 +257,7 @@ let fresh_cell () =
     f_any = Lockset.top;
     f_write = Lockset.top;
     f_wrote = false;
+    f_local = false;
     hist = [];
     hist_len = 0;
     hist_dropped = 0;
@@ -372,9 +385,15 @@ let check_access t ctx ~access ~tid ~addr ~atomic ~loc =
   let c = cell t addr in
   match c.st with
   | Exclusive o
-    when t.config.fast_path && o.o_tid = tid && o.o_seg = Segments.seg_of t.segments tid ->
+    when t.config.fast_path && o.o_tid = tid
+         && ((c.f_local && not t.config.provenance)
+            || o.o_seg = Segments.seg_of t.segments tid) ->
       (* steady-state exclusive: the slow path would rewrite the owner
-         with identical fields and cannot warn *)
+         with identical fields and cannot warn.  For words allocated at
+         a statically-proven thread-local line [f_local] the skip also
+         covers segment advances — the rewrite would only refresh
+         [o_seg], which no second thread can ever read (kept precise
+         under [provenance], where the seg advance is recorded). *)
       t.fast_hits <- t.fast_hits + 1;
       Metrics.incr m_fast_hits;
       (match t.tracer with
@@ -499,22 +518,41 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
       check_access t ctx ~access:Read ~tid ~addr ~atomic ~loc
   | E_write { tid; addr; atomic; loc; _ } ->
       check_access t ctx ~access:Write ~tid ~addr ~atomic ~loc
-  | E_alloc { addr; len; _ } ->
-      (* fresh (or recycled through malloc) memory starts life virgin;
-         slots past the shadow's frontier are already virgin *)
-      let n = Array.length t.shadow in
-      for a = addr to min (addr + len - 1) (n - 1) do
-        let c = Array.unsafe_get t.shadow a in
-        c.st <- Virgin;
-        c.f_any <- Lockset.top;
-        c.f_wrote <- false;
-        if c.hist_len > 0 then begin
-          (* recycled memory starts a fresh provenance life *)
-          c.hist <- [];
-          c.hist_len <- 0;
-          c.hist_dropped <- 0
-        end
-      done
+  | E_alloc { addr; len; loc; _ } ->
+      if Hashtbl.mem t.hints (loc.Loc.file, loc.Loc.line) then
+        (* a statically-proven thread-local allocation site: mark the
+           whole block (materialising cells past the frontier, which
+           would otherwise be created lazily without the mark) *)
+        for a = addr to addr + len - 1 do
+          let c = cell t a in
+          c.st <- Virgin;
+          c.f_any <- Lockset.top;
+          c.f_wrote <- false;
+          c.f_local <- true;
+          if c.hist_len > 0 then begin
+            c.hist <- [];
+            c.hist_len <- 0;
+            c.hist_dropped <- 0
+          end
+        done
+      else begin
+        (* fresh (or recycled through malloc) memory starts life virgin;
+           slots past the shadow's frontier are already virgin *)
+        let n = Array.length t.shadow in
+        for a = addr to min (addr + len - 1) (n - 1) do
+          let c = Array.unsafe_get t.shadow a in
+          c.st <- Virgin;
+          c.f_any <- Lockset.top;
+          c.f_wrote <- false;
+          c.f_local <- false;
+          if c.hist_len > 0 then begin
+            (* recycled memory starts a fresh provenance life *)
+            c.hist <- [];
+            c.hist_len <- 0;
+            c.hist_dropped <- 0
+          end
+        done
+      end
   | E_free _ -> ()
   | E_sync_create { sync; name; _ } -> (
       match Lock_id.of_sync_ref sync with

@@ -96,6 +96,14 @@ val set_tracer : t -> Raceguard_obs.Trace.t -> unit
 (** Offer detector decisions (state transitions, warnings, fast-path
     skips) to a sampling ring tracer; off unless installed. *)
 
+val set_static_hints : t -> (string * int) list -> unit
+(** Pre-mark allocation sites (by the (file, line) of their [E_alloc]
+    loc) as statically proven thread-local — e.g. the [hint_locs] of
+    the MiniC++ static analysis.  Words allocated there take the
+    Exclusive fast path even across segment advances, so the hit rate
+    rises; reports are unchanged provided the hints are truthful (a
+    word only ever touched by one thread between allocations). *)
+
 (** {1 Results} *)
 
 val reports : t -> Report.t list

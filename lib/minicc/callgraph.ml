@@ -1,0 +1,202 @@
+(** Call graph for MiniC++ programs.
+
+    Nodes are free functions, methods and destructors; edges are the
+    syntactic call/spawn/delete relations, with virtual dispatch
+    resolved conservatively (an edge to {e every} class defining the
+    called method) and [delete] edged to every destructor (the static
+    analogue of the vptr-driven destructor chain).  Roots are [main]
+    and every [Spawn] target, which is exactly the set of places a
+    thread can start executing.
+
+    The graph feeds {!Static_race}: recursion detection bounds the
+    interprocedural walk, and the "may alter locks" summary tells the
+    walk how to havoc a call it refuses to inline — a function that
+    (transitively) uses the {e unbalanced} lock builtins
+    ([mutex_lock]/[mutex_unlock]/[rdlock]/[wrlock]/[rw_unlock]) can
+    change the caller's held-lock set across the call, while one that
+    only uses scoped [lock (m) { ... }] blocks cannot. *)
+
+open Ast
+
+type node =
+  | Func of string
+  | Method of string * string  (** class, method *)
+  | Dtor of string  (** class *)
+
+let node_name = function
+  | Func f -> f
+  | Method (c, m) -> c ^ "::" ^ m
+  | Dtor c -> c ^ "::~" ^ c
+
+let compare_node a b = compare a b
+
+module Node_set = Set.Make (struct
+  type t = node
+
+  let compare = compare_node
+end)
+
+module Node_map = Map.Make (struct
+  type t = node
+
+  let compare = compare_node
+end)
+
+type t = {
+  nodes : node list;  (** declaration order *)
+  edges : Node_set.t Node_map.t;
+  roots : node list;  (** [main] first, then spawn targets in source order *)
+  unbalanced_locks : Node_set.t;  (** nodes using unbalanced lock builtins directly *)
+}
+
+(* the lock builtins whose effect outlives the statement *)
+let unbalanced_lock_builtins =
+  [ "mutex_lock"; "mutex_unlock"; "rdlock"; "wrlock"; "rw_unlock" ]
+
+let body_of p = function
+  | Func f -> ( match find_function p f with Some f -> f.fn_body | None -> [])
+  | Method (c, m) -> (
+      match find_class p c with
+      | Some c -> (
+          match List.find_opt (fun f -> f.fn_name = m) c.cls_methods with
+          | Some f -> f.fn_body
+          | None -> [])
+      | None -> [])
+  | Dtor c -> (
+      match find_class p c with
+      | Some c -> Option.value ~default:[] c.cls_dtor
+      | None -> [])
+
+let build (p : program) =
+  let classes = classes p in
+  let methods_named m =
+    List.filter_map
+      (fun c -> if List.exists (fun f -> f.fn_name = m) c.cls_methods then Some (Method (c.cls_name, m)) else None)
+      classes
+  in
+  let dtors = List.filter_map (fun c -> if c.cls_dtor <> None then Some (Dtor c.cls_name) else None) classes in
+  let nodes =
+    List.concat_map
+      (function
+        | Dfn f -> [ Func f.fn_name ]
+        | Dclass c ->
+            List.map (fun m -> Method (c.cls_name, m.fn_name)) c.cls_methods
+            @ if c.cls_dtor <> None then [ Dtor c.cls_name ] else [])
+      p.decls
+  in
+  let edges = ref Node_map.empty in
+  let unbalanced = ref Node_set.empty in
+  let spawn_targets = ref [] in
+  let add_edge src dst =
+    edges :=
+      Node_map.update src
+        (function None -> Some (Node_set.singleton dst) | Some s -> Some (Node_set.add dst s))
+        !edges
+  in
+  let rec walk_expr src (e : expr) =
+    match e.e with
+    | Int _ | Str _ | Null | Var _ | This -> ()
+    | Field (o, _) -> walk_expr src o
+    | Binop (_, a, b) ->
+        walk_expr src a;
+        walk_expr src b
+    | Unop (_, a) -> walk_expr src a
+    | Call (name, args) ->
+        List.iter (walk_expr src) args;
+        if List.mem name unbalanced_lock_builtins then unbalanced := Node_set.add src !unbalanced;
+        if find_function p name <> None then add_edge src (Func name)
+    | Method_call (o, m, args) ->
+        walk_expr src o;
+        List.iter (walk_expr src) args;
+        List.iter (add_edge src) (methods_named m)
+    | New _ -> ()
+    | Spawn (f, args) ->
+        List.iter (walk_expr src) args;
+        if find_function p f <> None then begin
+          add_edge src (Func f);
+          if not (List.mem (Func f) !spawn_targets) then spawn_targets := Func f :: !spawn_targets
+        end
+    | Deletor inner ->
+        walk_expr src inner;
+        List.iter (add_edge src) dtors
+  and walk_stmt src (s : stmt) =
+    match s.s with
+    | Var_decl (_, e) | Expr e | Return (Some e) -> walk_expr src e
+    | Assign (Lvar _, e) -> walk_expr src e
+    | Assign (Lfield (o, _, _), e) ->
+        walk_expr src o;
+        walk_expr src e
+    | If (c, a, b) ->
+        walk_expr src c;
+        List.iter (walk_stmt src) a;
+        List.iter (walk_stmt src) b
+    | While (c, b) ->
+        walk_expr src c;
+        List.iter (walk_stmt src) b
+    | Return None -> ()
+    | Delete e ->
+        walk_expr src e;
+        List.iter (add_edge src) dtors
+    | Lock (m, b) ->
+        walk_expr src m;
+        List.iter (walk_stmt src) b
+    | Block b -> List.iter (walk_stmt src) b
+  in
+  List.iter (fun n -> List.iter (walk_stmt n) (body_of p n)) nodes;
+  let roots =
+    (if find_function p "main" <> None then [ Func "main" ] else []) @ List.rev !spawn_targets
+  in
+  { nodes; edges = !edges; roots; unbalanced_locks = !unbalanced }
+
+let nodes t = t.nodes
+let roots t = t.roots
+
+let callees t n =
+  match Node_map.find_opt n t.edges with None -> [] | Some s -> Node_set.elements s
+
+let n_edges t = Node_map.fold (fun _ s acc -> acc + Node_set.cardinal s) t.edges 0
+
+(* forward reachability from a seed set *)
+let closure t seeds =
+  let rec go seen = function
+    | [] -> seen
+    | n :: rest ->
+        if Node_set.mem n seen then go seen rest
+        else go (Node_set.add n seen) (callees t n @ rest)
+  in
+  go Node_set.empty seeds
+
+let reachable t = Node_set.elements (closure t t.roots)
+
+let unreachable_functions t =
+  let reach = closure t t.roots in
+  List.filter_map
+    (function
+      | Func f when not (Node_set.mem (Func f) reach) -> Some f
+      | _ -> None)
+    t.nodes
+
+(** [n] participates in a call cycle (including self-recursion). *)
+let may_recurse t n =
+  let rec go seen = function
+    | [] -> false
+    | x :: rest ->
+        if compare_node x n = 0 then true
+        else if Node_set.mem x seen then go seen rest
+        else go (Node_set.add x seen) (callees t x @ rest)
+  in
+  go Node_set.empty (callees t n)
+
+(** [n] or a transitive callee uses an unbalanced lock builtin, i.e. a
+    call to [n] can change the caller's held-lock set. *)
+let may_alter_locks t n =
+  let reach = closure t [ n ] in
+  not (Node_set.is_empty (Node_set.inter reach t.unbalanced_locks))
+
+let pp ppf t =
+  List.iter
+    (fun n ->
+      match callees t n with
+      | [] -> ()
+      | cs -> Fmt.pf ppf "%s -> %s@\n" (node_name n) (String.concat ", " (List.map node_name cs)))
+    t.nodes

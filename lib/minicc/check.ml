@@ -8,13 +8,15 @@
     - spawned functions exist and arities match;
     - field names exist in {e some} class (MiniC++ objects are
       dynamically classed, so field access is checked precisely at
-      runtime; statically we catch misspellings that match no class). *)
+      runtime; statically we catch misspellings that match no class).
+
+    {!check_all} accumulates {e every} violation with its position (the
+    lint-friendly entry point); {!check} raises on the first one, in
+    the same walk order, for the build pipeline. *)
 
 open Ast
 
 exception Error of string * Token.pos
-
-let err pos fmt = Fmt.kstr (fun m -> raise (Error (m, pos))) fmt
 
 let builtins =
   (* name, arity *)
@@ -54,7 +56,11 @@ let builtins =
     ("random", 1);
   ]
 
-let check (p : program) =
+(** Walk the whole program and collect every semantic violation, in
+    source-walk order (the head is what {!check} raises). *)
+let check_all (p : program) : (string * Token.pos) list =
+  let diags = ref [] in
+  let err pos fmt = Fmt.kstr (fun m -> diags := (m, pos) :: !diags) fmt in
   let classes = classes p and functions = functions p in
   (* duplicate / existence checks *)
   let seen = Hashtbl.create 16 in
@@ -71,25 +77,33 @@ let check (p : program) =
         err f.fn_pos "function %s shadows a builtin" f.fn_name;
       Hashtbl.replace fseen f.fn_name ())
     functions;
-  (* hierarchy *)
+  (* hierarchy — a cycle or missing parent is reported once, then the
+     chain walk stops (it cannot make progress) *)
   let rec ancestors c acc =
     match c.cls_parent with
-    | None -> acc
+    | None -> ()
     | Some pname -> (
-        if List.mem pname acc then err c.cls_pos "inheritance cycle through %s" pname;
-        match find_class p pname with
-        | None -> err c.cls_pos "unknown parent class %s" pname
-        | Some parent -> ancestors parent (pname :: acc))
+        if List.mem pname acc then err c.cls_pos "inheritance cycle through %s" pname
+        else
+          match find_class p pname with
+          | None -> err c.cls_pos "unknown parent class %s" pname
+          | Some parent -> ancestors parent (pname :: acc))
   in
-  List.iter (fun c -> ignore (ancestors c [ c.cls_name ])) classes;
+  List.iter (fun c -> ancestors c [ c.cls_name ]) classes;
   (* field duplication along the chain *)
   List.iter
     (fun c ->
-      let rec chain c = match c.cls_parent with
+      let rec chain visited c =
+        match c.cls_parent with
         | None -> [ c ]
-        | Some pn -> ( match find_class p pn with Some par -> chain par @ [ c ] | None -> [ c ])
+        | Some pn -> (
+            if List.mem pn visited then [ c ]  (* cycle: already reported above *)
+            else
+              match find_class p pn with
+              | Some par -> chain (pn :: visited) par @ [ c ]
+              | None -> [ c ])
       in
-      let fields = List.concat_map (fun c -> c.cls_fields) (chain c) in
+      let fields = List.concat_map (fun c -> c.cls_fields) (chain [ c.cls_name ] c) in
       let tbl = Hashtbl.create 8 in
       List.iter
         (fun f ->
@@ -195,7 +209,11 @@ let check (p : program) =
       List.iter (fun m -> stmts m.fn_params ~in_method:true m.fn_body) c.cls_methods;
       match c.cls_dtor with None -> () | Some body -> stmts [] ~in_method:true body)
     classes;
-  match find_function p "main" with
-  | None -> raise (Error ("program has no main function", { Token.file = p.source_file; line = 1; col = 1 }))
-  | Some f ->
-      if f.fn_params <> [] then err f.fn_pos "main must take no parameters"
+  (match find_function p "main" with
+  | None ->
+      err { Token.file = p.source_file; line = 1; col = 1 } "program has no main function"
+  | Some f -> if f.fn_params <> [] then err f.fn_pos "main must take no parameters");
+  List.rev !diags
+
+let check (p : program) =
+  match check_all p with [] -> () | (msg, pos) :: _ -> raise (Error (msg, pos))

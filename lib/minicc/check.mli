@@ -8,5 +8,11 @@ exception Error of string * Token.pos
 val builtins : (string * int) list
 (** Builtin functions and their arities. *)
 
+val check_all : Ast.program -> (string * Token.pos) list
+(** Every semantic violation with its position, in source-walk order —
+    the lint-friendly entry point.  Empty means the program is well
+    formed. *)
+
 val check : Ast.program -> unit
-(** Raises {!Error} on the first violation. *)
+(** Raises {!Error} on the first violation (the head of
+    {!check_all}). *)

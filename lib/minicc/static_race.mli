@@ -1,0 +1,74 @@
+(** Static lockset & thread-escape analysis for MiniC++ — the lint
+    companion to the dynamic Helgrind detector.
+
+    Walks the AST interprocedurally from [main] and every [Spawn]
+    target, computing must-held locksets per access (with the HWLC bus
+    lock implicit on reads and bus-locked RMWs), fork-join ordering
+    windows, and a thread-escape closure over allocation sites.
+    Conflicting concurrent accesses to escaping sites with disjoint
+    locksets become warnings whose [Loc.t] stacks mirror the
+    interpreter's dynamic frames, so they can be cross-checked against
+    dynamic {!Raceguard_detector.Report} signatures.
+
+    See DESIGN.md §10 for what this pass can and cannot promise. *)
+
+module Loc = Raceguard_util.Loc
+module Report = Raceguard_detector.Report
+module Suppression = Raceguard_detector.Suppression
+
+module ISet : Set.S with type elt = int
+
+type site = {
+  site_id : int;
+  site_loc : Loc.t;
+  site_desc : string;  (** e.g. ["new Counter"], ["alloc"], ["mutex"] *)
+  site_cls : string option;
+  site_alloc : bool;  (** a memory allocation (locality-hint candidate) *)
+}
+
+type warning = {
+  w_kind : Report.kind;  (** {!Report.Race_write} or {!Report.Race_read} *)
+  w_stack : Loc.t list;  (** innermost first, like dynamic report stacks *)
+  w_site : site;
+  w_field : string;  (** field name, ["<vptr>"], or ["[]"] for raw words *)
+  w_locks : ISet.t;  (** real locks held at the access (bus excluded) *)
+  w_counter_kind : Report.kind;
+  w_counter_stack : Loc.t list;  (** one conflicting concurrent access *)
+}
+
+type stats = {
+  n_roots : int;  (** thread roots walked (main + distinct spawns) *)
+  n_accesses : int;  (** deduplicated access records *)
+  n_sites : int;
+  n_alloc_sites : int;
+  n_escaping : int;
+  cg_nodes : int;
+  cg_edges : int;
+  passes : int;  (** heap fixpoint passes run *)
+  truncated : bool;  (** an analysis bound was hit; results are partial *)
+}
+
+type result = {
+  warnings : warning list;
+  suppressions : Suppression.t list;
+      (** for consistently-guarded shared accesses, [of_frames]-shaped *)
+  local_allocs : site list;  (** allocation sites proven thread-local *)
+  escaping_allocs : site list;
+  hint_locs : (string * int) list;
+      (** (file, line) pairs safe to pre-mark thread-local in the
+          dynamic detector ({!Raceguard_detector.Helgrind.set_static_hints}) *)
+  unreachable : string list;  (** free functions no thread reaches *)
+  stats : stats;
+}
+
+val analyse : Ast.program -> result
+(** Run the analysis on a checked program.  Deterministic; terminates
+    on all inputs (bounded loops, calls, and passes — [stats.truncated]
+    says whether a bound was hit). *)
+
+val pp_warning : Format.formatter -> warning -> unit
+val pp_result : Format.formatter -> result -> unit
+(** Human-readable lint rendering, Valgrind-flavoured stacks. *)
+
+val to_json : file:string -> result -> Raceguard_obs.Json.t
+(** The machine-readable [raceguard-lint/1] document. *)

@@ -16,6 +16,7 @@ let () =
       Test_explore.suite;
       Test_properties.suite;
       Test_fastpath.suite;
+      Test_static.suite;
       Test_obs.suite;
       Test_experiments.suite;
     ]
