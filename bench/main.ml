@@ -534,6 +534,124 @@ let hints_rows ~quick ~seed =
     (rate base) (rate hinted) (List.length locs);
   [ base; hinted ]
 
+(* --- chaos-off overhead suite --------------------------------------- *)
+
+(* The fault-injection plane must compile to a no-op when its plan is
+   empty: wiring an off injector into the transport, the server and the
+   engine may not change the schedule (same events, same report digest)
+   and may not cost more than 5% of throughput vs no injector at all. *)
+let faults_workload_name = "sip-t2-chaos-off"
+
+let faults_run ~seed ~injector () =
+  let h = Det.Helgrind.create Det.Helgrind.hwlc_dr in
+  let vm =
+    Vm.Engine.create ~config:{ Vm.Engine.default_config with seed; faults = injector } ()
+  in
+  Vm.Engine.add_tool vm (Det.Helgrind.tool h);
+  let transport = Sip.Transport.create ?faults:injector () in
+  let server = { R.Runner.default.server with Sip.Proxy.faults = injector } in
+  ignore
+    (Vm.Engine.run vm (fun () ->
+         ignore
+           (Sip.Workload.run_test_case ~transport ~server_config:server Sip.Workload.t2 ())));
+  h
+
+let faults_events ~seed ~injector =
+  let vm =
+    Vm.Engine.create ~config:{ Vm.Engine.default_config with seed; faults = injector } ()
+  in
+  let n = ref 0 in
+  Vm.Engine.add_tool vm (Vm.Tool.of_fn "count" (fun _ -> incr n));
+  let transport = Sip.Transport.create ?faults:injector () in
+  let server = { R.Runner.default.server with Sip.Proxy.faults = injector } in
+  ignore
+    (Vm.Engine.run vm (fun () ->
+         ignore
+           (Sip.Workload.run_test_case ~transport ~server_config:server Sip.Workload.t2 ())));
+  !n
+
+let faults_configs =
+  [
+    ("sip-hwlc+dr-no-injector", Det.Helgrind.config_to_json Det.Helgrind.hwlc_dr);
+    ("sip-hwlc+dr-injector-off", Det.Helgrind.config_to_json Det.Helgrind.hwlc_dr);
+  ]
+
+let faults_rows ~quick ~seed =
+  let off_injector () =
+    Some (Raceguard_faults.Injector.create ~seed ~plan:Raceguard_faults.Plan.none)
+  in
+  let variants = [ ("sip-hwlc+dr-no-injector", fun () -> None);
+                   ("sip-hwlc+dr-injector-off", off_injector) ] in
+  let audited =
+    List.map
+      (fun (name, inj) ->
+        let h = faults_run ~seed ~injector:(inj ()) () in
+        let events = faults_events ~seed ~injector:(inj ()) in
+        (name, inj, events, Det.Helgrind.location_count h,
+         digest_sigs (sigs_of (Det.Helgrind.locations h))))
+      variants
+  in
+  (* interleave the timed repetitions so clock drift hits both equally *)
+  let reps = if quick then 4 else 12 in
+  let spent = Hashtbl.create 4 in
+  List.iter (fun (name, _, _, _, _) -> Hashtbl.replace spent name 0.) audited;
+  List.iter (fun (_, inj, _, _, _) -> ignore (faults_run ~seed ~injector:(inj ()) ()))
+    audited (* warm-up *);
+  for _ = 1 to reps do
+    List.iter
+      (fun (name, inj, _, _, _) ->
+        let injector = inj () in
+        let t0 = Sys.time () in
+        ignore (faults_run ~seed ~injector ());
+        Hashtbl.replace spent name (Hashtbl.find spent name +. (Sys.time () -. t0)))
+      audited
+  done;
+  let rows =
+    List.map
+      (fun (name, _, events, reports, digest) ->
+        let ns = Hashtbl.find spent name /. float_of_int reps *. 1e9 in
+        {
+          r_workload = faults_workload_name;
+          r_config = name;
+          r_events = events;
+          r_reports = reports;
+          r_sig_digest = digest;
+          r_ns_per_run = ns;
+          r_events_per_sec = (if ns <= 0. then 0. else float_of_int events /. (ns /. 1e9));
+          r_minor_words_per_event = 0.;
+          r_normalized = 0.;
+          (* gated in-process below, not via the baseline comparison *)
+          r_checked = 0;
+          r_fast_hits = 0;
+          r_interned = 0;
+          r_gc_words_per_event = 0.;
+        })
+      audited
+  in
+  let find name = List.find (fun r -> r.r_config = name) rows in
+  let absent = find "sip-hwlc+dr-no-injector" in
+  let off = find "sip-hwlc+dr-injector-off" in
+  if off.r_sig_digest <> absent.r_sig_digest || off.r_events <> absent.r_events then begin
+    Printf.printf
+      "CHAOS-OFF FIDELITY FAILURE: off injector perturbed the run (%d/%s events/digest vs \
+       %d/%s)\n"
+      off.r_events off.r_sig_digest absent.r_events absent.r_sig_digest;
+    exit 2
+  end;
+  let ratio =
+    if absent.r_events_per_sec <= 0. then 1.
+    else off.r_events_per_sec /. absent.r_events_per_sec
+  in
+  if ratio < 0.95 then begin
+    Printf.printf
+      "CHAOS-OFF OVERHEAD GATE FAILURE: normalized throughput %.3f < 0.95 of the \
+       injector-free build\n"
+      ratio;
+    exit 2
+  end;
+  Printf.printf "chaos-off overhead gate OK: normalized throughput %.3f (>= 0.95)\n%!" ratio;
+  rows
+
 (* --- JSON output --------------------------------------------------- *)
 
 let fl x = if Float.is_nan x || Float.is_integer x then Printf.sprintf "%.1f" x else Printf.sprintf "%.6g" x
@@ -560,7 +678,9 @@ let write_json ~out ~quick ~seed rows =
   Printf.fprintf oc "  \"seed\": %d,\n" seed;
   Printf.fprintf oc "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
   Printf.fprintf oc "  \"configs\": {\n";
-  let configs = List.map (fun s -> (s.s_name, s.s_config)) subjects @ hints_configs in
+  let configs =
+    List.map (fun s -> (s.s_name, s.s_config)) subjects @ hints_configs @ faults_configs
+  in
   let ns = List.length configs in
   List.iteri
     (fun i (name, cfg) ->
@@ -713,6 +833,7 @@ let () =
       !seed_ref;
     let rows = run_throughput ~quick:!quick ~seed:!seed_ref in
     let rows = rows @ hints_rows ~quick:!quick ~seed:!seed_ref in
+    let rows = rows @ faults_rows ~quick:!quick ~seed:!seed_ref in
     write_json ~out:!out ~quick:!quick ~seed:!seed_ref rows;
     print_summary rows;
     Printf.printf "wrote %s\n" !out;

@@ -112,6 +112,97 @@ let explain_cmd =
     Term.(
       ret (const run $ test_arg $ json_arg $ seed_arg $ trace_arg $ sample_arg $ metrics_arg))
 
+let chaos_cmd =
+  let doc =
+    "Run the chaos matrix: fault plans crossed with SIP test cases, with and without the \
+     proxy's resilience layer, judged by post-run invariant oracles.  Exits non-zero unless \
+     every resilient cell is violation-free and at least one baseline cell violates an \
+     oracle."
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the raceguard-chaos/1 JSON report")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke subset (3 plans on T2/T6)")
+  in
+  let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"matrix seed") in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"NAME" ~doc:"run only the named fault plan")
+  in
+  let test_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "test" ] ~docv:"T" ~doc:"run only the named test case (T1..T8)")
+  in
+  let no_fast_path_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fast-path" ]
+          ~doc:"disable the detector fast path (digests must not change)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"write the report (JSON or text) to $(docv)")
+  in
+  let run json quick seed plan test no_fast_path out =
+    let base = if quick then Raceguard.Chaos.quick else Raceguard.Chaos.default in
+    let config = { base with Raceguard.Chaos.seed; fast_path = not no_fast_path } in
+    let with_plan =
+      match plan with
+      | None -> Ok config
+      | Some name -> (
+          match Raceguard_faults.Plan.lookup name with
+          | Some p -> Ok { config with Raceguard.Chaos.plans = [ p ] }
+          | None -> Error (Printf.sprintf "unknown fault plan %S" name))
+    in
+    match with_plan with
+    | Error e -> `Error (false, e)
+    | Ok config -> (
+        let config =
+          match test with
+          | None -> config
+          | Some t ->
+              {
+                config with
+                Raceguard.Chaos.tests =
+                  List.filter
+                    (fun (tc : Raceguard_sip.Workload.test_case) -> tc.tc_name = t)
+                    config.Raceguard.Chaos.tests;
+              }
+        in
+        match config.Raceguard.Chaos.tests with
+        | [] -> `Error (false, "no test cases selected (expected T1..T8)")
+        | _ ->
+            let report = Raceguard.Chaos.run config in
+            let rendered =
+              if json then
+                Raceguard_obs.Json.to_string ~indent:2
+                  (Raceguard.Chaos.to_json ~config report)
+                ^ "\n"
+              else Fmt.str "%a@." Raceguard.Chaos.pp report
+            in
+            (match out with
+            | Some file ->
+                let oc = open_out file in
+                output_string oc rendered;
+                close_out oc;
+                Printf.eprintf "chaos report: %s\n%!" file
+            | None -> print_string rendered);
+            if Raceguard.Chaos.passed report then `Ok ()
+            else `Error (false, "chaos matrix failed: invariant asymmetry not established"))
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      ret
+        (const run $ json_arg $ quick_arg $ seed_arg $ plan_arg $ test_arg $ no_fast_path_arg
+       $ out_arg))
+
 let json_check_cmd =
   let doc =
     "Validate that a file parses with the project's own JSON parser and report its schema \
@@ -145,4 +236,4 @@ let json_check_cmd =
 let () =
   let doc = "Reproduce the tables and figures of the paper." in
   let info = Cmd.info "raceguard-experiments" ~version:"0.9" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; explain_cmd; json_check_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; explain_cmd; chaos_cmd; json_check_cmd ]))

@@ -1,0 +1,403 @@
+(** The chaos matrix: fault plans × test cases × resilience on/off.
+
+    Each cell is one full deterministic VM run: a fresh {!Faults.Injector}
+    (derived from the matrix seed and the plan) is wired into the
+    transport, the allocator and the engine; the chaos drivers
+    ({!Raceguard_sip.Workload.chaos_test_cases}) run their scripts with
+    UAC-side retransmission; afterwards the post-run invariant oracles
+    judge the cell:
+
+    - {b registrations}: every REGISTER the server acknowledged with a
+      200 is still bound at shutdown (and every acknowledged
+      unREGISTER stays unbound) — checked strictly unless the plan can
+      make whole requests vanish ({!Faults.Plan.has_drops});
+    - {b answered}: every driver transaction reached a correct final
+      response or was deliberately shed with 503;
+    - {b shutdown}: the run ended cleanly — no deadlock, no dead
+      threads, listener and services joined.
+
+    The acceptance shape of the whole matrix: with resilience ON no
+    cell violates any oracle; with resilience OFF at least one cell
+    does (that asymmetry is what the resilience layer buys).  Each
+    cell also carries the MD5 digest of its detector-report signatures
+    and of its behavioural evidence, so (seed, plan) ⇒ byte-identical
+    digests is pinned by test and CI. *)
+
+module Vm = Raceguard_vm
+module Det = Raceguard_detector
+module Sip = Raceguard_sip
+module Obs = Raceguard_obs
+module Faults = Raceguard_faults
+module Json = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  seed : int;
+  plans : Faults.Plan.t list;
+  tests : Sip.Workload.test_case list;
+  fast_path : bool;  (** detector fast path — must not change any digest *)
+  max_ops : int;
+}
+
+(** The resilience knobs used by every resilient cell: an aggressive
+    high-water mark so pool-mode cells actually shed under bursts. *)
+let cell_resilience =
+  { Sip.Proxy.default_resilience with res_shed_high_water = 4; res_deadline = 400 }
+
+let chaos_opts = Sip.Workload.default_chaos_opts
+
+let default =
+  {
+    seed = 7;
+    plans = Faults.Plan.shipped;
+    tests = Sip.Workload.chaos_test_cases chaos_opts;
+    fast_path = true;
+    max_ops = 4_000_000;
+  }
+
+(** The CI smoke subset: three representative plans (datagram loss,
+    duplication, allocation failure) on two request mixes. *)
+let quick =
+  {
+    default with
+    plans =
+      List.filter_map Faults.Plan.lookup [ "drop"; "dup"; "oom" ];
+    tests =
+      List.filter
+        (fun (tc : Sip.Workload.test_case) -> tc.tc_name = "T2" || tc.tc_name = "T6")
+        (Sip.Workload.chaos_test_cases chaos_opts);
+  }
+
+(** Plans that stress scheduling/allocation run against the thread-pool
+    server (a queue for overload shedding to watch); pure datagram
+    plans keep the thread-per-request shape. *)
+let pattern_for (plan : Faults.Plan.t) =
+  match plan.p_name with
+  | "oom" | "slow-threads" | "mayhem" -> Sip.Proxy.Pool 2
+  | _ -> Sip.Proxy.Per_request
+
+(* ------------------------------------------------------------------ *)
+(* One cell                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type oracle = { o_name : string; o_ok : bool; o_detail : string }
+
+type cell = {
+  cl_plan : string;
+  cl_test : string;
+  cl_resilient : bool;
+  cl_oracles : oracle list;
+  cl_violations : string list;  (** failed oracles, rendered *)
+  cl_locations : int;  (** deduplicated detector locations *)
+  cl_sig_digest : string;  (** MD5 over the sorted report signatures *)
+  cl_behavior_digest : string;  (** MD5 over the behavioural evidence *)
+  cl_unanswered : int;
+  cl_wrong_finals : int;
+  cl_shed_seen : int;
+  cl_sheds : int;
+  cl_cache_hits : int;
+  cl_retransmits : int;
+  cl_injected : Faults.Injector.counts;
+  cl_thread_failures : int;
+  cl_deadlocked : bool;
+  cl_wall : float;
+}
+
+let sig_string (r : Det.Report.t) =
+  let kind, frames = Det.Report.signature r in
+  Fmt.str "%a@%s" Det.Report.pp_kind kind
+    (String.concat ";" (List.map (fun l -> Fmt.str "%a" Raceguard_util.Loc.pp l) frames))
+
+let digest_of_strings sigs =
+  Digest.to_hex (Digest.string (String.concat "\n" (List.sort compare sigs)))
+
+(** Final binding expectation per AOR: the last acknowledged
+    REGISTER/unREGISTER wins. *)
+let final_expectations acked =
+  List.fold_left
+    (fun acc (aor, bound) -> (aor, bound) :: List.remove_assoc aor acc)
+    [] acked
+  |> List.sort compare
+
+let run_oracles ~(plan : Faults.Plan.t) ~(cr : Sip.Workload.chaos_run_result)
+    ~(outcome : Vm.Engine.outcome) =
+  let expectations = final_expectations cr.cr_acked_regs in
+  let lost =
+    List.filter_map
+      (fun (aor, bound) ->
+        let is_bound = List.mem aor cr.cr_bound in
+        if bound && not is_bound then Some (aor ^ " lost")
+        else if (not bound) && is_bound then Some (aor ^ " ghost-bound")
+        else None)
+      expectations
+  in
+  let o_reg =
+    if Faults.Plan.has_drops plan && lost <> [] then
+      (* request-vanishing faults relax the strict form; report but pass *)
+      { o_name = "registrations"; o_ok = true;
+        o_detail = "relaxed (drop-class plan): " ^ String.concat ", " lost }
+    else
+      { o_name = "registrations";
+        o_ok = lost = [];
+        o_detail = (if lost = [] then "all acknowledged bindings consistent"
+                    else String.concat ", " lost) }
+  in
+  let wrong = List.length cr.cr_base.r_failures in
+  let o_answered =
+    let sample =
+      match cr.cr_base.r_failures with
+      | [] -> ""
+      | fs ->
+          " ["
+          ^ String.concat "; " (List.filteri (fun i _ -> i < 3) fs)
+          ^ (if wrong > 3 then "; ..." else "")
+          ^ "]"
+    in
+    { o_name = "answered";
+      o_ok = cr.cr_unanswered = 0 && wrong = 0;
+      o_detail =
+        Printf.sprintf "%d unanswered, %d wrong finals, %d shed%s" cr.cr_unanswered wrong
+          (cr.cr_sheds + cr.cr_shed_seen) sample }
+  in
+  let dead = outcome.Vm.Engine.deadlock <> None in
+  let crashed = List.length outcome.Vm.Engine.failures in
+  let o_shutdown =
+    { o_name = "clean-shutdown";
+      o_ok = (not dead) && crashed = 0;
+      o_detail =
+        (if dead then "deadlock / ops budget exhausted"
+         else if crashed > 0 then
+           Printf.sprintf "%d dead threads (%s)" crashed
+             (String.concat ", "
+                (List.map (fun (_, name, _) -> name) outcome.Vm.Engine.failures))
+         else "clean") }
+  in
+  [ o_reg; o_answered; o_shutdown ]
+
+(* djb2, as elsewhere in the repo *)
+let hash_name name =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) name;
+  !h
+
+let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_case) =
+  (* Mix the cell coordinates into the injector seed: cells of the same
+     plan must not share one roll stream, or an unlucky prefix starves
+     every cell of a category at once.  Still a pure function of
+     (config.seed, plan, test, resilient) — the determinism contract. *)
+  let cell_seed =
+    config.seed
+    lxor (hash_name tc.tc_name * 31)
+    lxor if resilient then 0x5EED else 0
+  in
+  let inj = Faults.Injector.create ~seed:cell_seed ~plan in
+  let transport = Sip.Transport.create ~faults:inj () in
+  let server =
+    {
+      Sip.Proxy.default_config with
+      annotate = true;
+      pattern = pattern_for plan;
+      resilience = (if resilient then Some cell_resilience else None);
+      faults = Some inj;
+    }
+  in
+  let runner =
+    {
+      Runner.default with
+      seed = config.seed;
+      helgrind_configs =
+        [ ("HWLC+DR", { Det.Helgrind.hwlc_dr with fast_path = config.fast_path }) ];
+      max_ops = config.max_ops;
+      faults = Some inj;
+    }
+  in
+  let result, value =
+    Runner.run_main runner (Sip.Workload.run_chaos_test_case ~transport ~server_config:server tc)
+  in
+  let cr =
+    match value with
+    | Some cr -> cr
+    | None ->
+        (* the main thread itself died (legacy server under OOM faults):
+           synthesise empty evidence; the shutdown oracle flags the cell *)
+        {
+          Sip.Workload.cr_base =
+            { r_failures = [ "main thread did not complete" ]; r_responses = 0;
+              r_requests_handled = 0 };
+          cr_acked_regs = [];
+          cr_shed_seen = 0;
+          cr_unanswered = 0;
+          cr_bound = [];
+          cr_sheds = 0;
+          cr_cache_hits = 0;
+          cr_retransmits = 0;
+        }
+  in
+  let oracles = run_oracles ~plan ~cr ~outcome:result.Runner.outcome in
+  let violations =
+    List.filter_map (fun o -> if o.o_ok then None else Some (o.o_name ^ ": " ^ o.o_detail)) oracles
+  in
+  let locations = Runner.locations_of result "HWLC+DR" in
+  let sigs = List.map (fun (r, _) -> sig_string r) locations in
+  let behavior =
+    [
+      "bound=" ^ String.concat "," cr.cr_bound;
+      "acked=" ^ String.concat ","
+        (List.map (fun (a, b) -> Printf.sprintf "%s:%b" a b) (final_expectations cr.cr_acked_regs));
+      Printf.sprintf "unanswered=%d" cr.cr_unanswered;
+      Printf.sprintf "wrong=%d" (List.length cr.cr_base.r_failures);
+      Printf.sprintf "responses=%d" cr.cr_base.r_responses;
+      Printf.sprintf "sheds=%d/%d" cr.cr_sheds cr.cr_shed_seen;
+      Printf.sprintf "cache_hits=%d" cr.cr_cache_hits;
+      Printf.sprintf "retransmits=%d" cr.cr_retransmits;
+      Printf.sprintf "injected=%d" (Faults.Injector.total (Faults.Injector.counts inj));
+      "oracles=" ^ String.concat ";"
+        (List.map (fun o -> Printf.sprintf "%s:%b" o.o_name o.o_ok) oracles);
+    ]
+  in
+  {
+    cl_plan = plan.p_name;
+    cl_test = tc.tc_name;
+    cl_resilient = resilient;
+    cl_oracles = oracles;
+    cl_violations = violations;
+    cl_locations = List.length locations;
+    cl_sig_digest = digest_of_strings sigs;
+    cl_behavior_digest = digest_of_strings behavior;
+    cl_unanswered = cr.cr_unanswered;
+    cl_wrong_finals = List.length cr.cr_base.r_failures;
+    cl_shed_seen = cr.cr_shed_seen;
+    cl_sheds = cr.cr_sheds;
+    cl_cache_hits = cr.cr_cache_hits;
+    cl_retransmits = cr.cr_retransmits;
+    cl_injected = Faults.Injector.counts inj;
+    cl_thread_failures = List.length result.Runner.outcome.Vm.Engine.failures;
+    cl_deadlocked = result.Runner.outcome.Vm.Engine.deadlock <> None;
+    cl_wall = result.Runner.wall_seconds;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The matrix                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  rp_seed : int;
+  rp_fast_path : bool;
+  rp_cells : cell list;
+  rp_resilient_violations : int;  (** cells with resilience ON that violate *)
+  rp_baseline_violations : int;  (** cells with resilience OFF that violate *)
+}
+
+let run config =
+  let cells =
+    List.concat_map
+      (fun plan ->
+        List.concat_map
+          (fun tc ->
+            List.map
+              (fun resilient -> run_cell config ~plan ~resilient tc)
+              [ true; false ])
+          config.tests)
+      config.plans
+  in
+  let count p = List.length (List.filter p cells) in
+  {
+    rp_seed = config.seed;
+    rp_fast_path = config.fast_path;
+    rp_cells = cells;
+    rp_resilient_violations = count (fun c -> c.cl_resilient && c.cl_violations <> []);
+    rp_baseline_violations = count (fun c -> (not c.cl_resilient) && c.cl_violations <> []);
+  }
+
+let passed r = r.rp_resilient_violations = 0 && r.rp_baseline_violations > 0
+
+(** One digest covering the whole matrix (violations + per-cell
+    digests): the value the determinism pin compares across runs and
+    fast-path modes. *)
+let matrix_digest r =
+  digest_of_strings
+    (List.map
+       (fun c ->
+         Printf.sprintf "%s|%s|%b|%s|%s|%s" c.cl_plan c.cl_test c.cl_resilient c.cl_sig_digest
+           c.cl_behavior_digest
+           (String.concat ";" c.cl_violations))
+       r.rp_cells)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cell_to_json c =
+  Json.Obj
+    [
+      ("plan", Json.Str c.cl_plan);
+      ("test", Json.Str c.cl_test);
+      ("resilient", Json.Bool c.cl_resilient);
+      ("locations", Json.int c.cl_locations);
+      ("sig_digest", Json.Str c.cl_sig_digest);
+      ("behavior_digest", Json.Str c.cl_behavior_digest);
+      ( "oracles",
+        Json.List
+          (List.map
+             (fun o ->
+               Json.Obj
+                 [
+                   ("name", Json.Str o.o_name);
+                   ("ok", Json.Bool o.o_ok);
+                   ("detail", Json.Str o.o_detail);
+                 ])
+             c.cl_oracles) );
+      ("violations", Json.List (List.map (fun v -> Json.Str v) c.cl_violations));
+      ("unanswered", Json.int c.cl_unanswered);
+      ("wrong_finals", Json.int c.cl_wrong_finals);
+      ("shed_server", Json.int c.cl_sheds);
+      ("shed_seen", Json.int c.cl_shed_seen);
+      ("cache_hits", Json.int c.cl_cache_hits);
+      ("retransmits", Json.int c.cl_retransmits);
+      ("injected", Faults.Injector.counts_to_json c.cl_injected);
+      ("thread_failures", Json.int c.cl_thread_failures);
+      ("deadlocked", Json.Bool c.cl_deadlocked);
+    ]
+
+let to_json ?(config = default) r =
+  Json.Obj
+    [
+      ("schema", Json.Str "raceguard-chaos/1");
+      ("seed", Json.int r.rp_seed);
+      ("fast_path", Json.Bool r.rp_fast_path);
+      ("plans", Json.List (List.map Faults.Plan.to_json config.plans));
+      ("cells", Json.List (List.map cell_to_json r.rp_cells));
+      ( "summary",
+        Json.Obj
+          [
+            ("cells", Json.int (List.length r.rp_cells));
+            ("resilient_violations", Json.int r.rp_resilient_violations);
+            ("baseline_violations", Json.int r.rp_baseline_violations);
+            ("matrix_digest", Json.Str (matrix_digest r));
+            ("passed", Json.Bool (passed r));
+          ] );
+    ]
+
+let pp ppf r =
+  let open Format in
+  fprintf ppf "chaos matrix: seed %d, %d cells (fast_path %b)@," r.rp_seed
+    (List.length r.rp_cells) r.rp_fast_path;
+  fprintf ppf "%-12s %-4s %-4s %5s %5s %5s %5s %6s  %s@," "plan" "test" "res" "locs" "unans"
+    "wrong" "shed" "inject" "verdict";
+  List.iter
+    (fun c ->
+      fprintf ppf "%-12s %-4s %-4s %5d %5d %5d %5d %6d  %s@," c.cl_plan c.cl_test
+        (if c.cl_resilient then "on" else "off")
+        c.cl_locations c.cl_unanswered c.cl_wrong_finals (c.cl_sheds + c.cl_shed_seen)
+        (Faults.Injector.total c.cl_injected)
+        (if c.cl_violations = [] then "ok" else String.concat "; " c.cl_violations))
+    r.rp_cells;
+  fprintf ppf "violations: %d resilient, %d baseline — %s@," r.rp_resilient_violations
+    r.rp_baseline_violations
+    (if passed r then
+       "PASS (resilient cells clean, baseline demonstrably breaks)"
+     else "FAIL");
+  fprintf ppf "matrix digest: %s" (matrix_digest r)

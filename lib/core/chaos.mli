@@ -1,0 +1,79 @@
+(** Chaos matrix runner: fault plans × SIP test cases × resilience
+    on/off, each cell one deterministic VM run judged by post-run
+    invariant oracles.  (seed, plan) ⇒ byte-identical digests. *)
+
+module Vm = Raceguard_vm
+module Det = Raceguard_detector
+module Sip = Raceguard_sip
+module Obs = Raceguard_obs
+module Faults = Raceguard_faults
+
+type config = {
+  seed : int;
+  plans : Faults.Plan.t list;
+  tests : Sip.Workload.test_case list;
+  fast_path : bool;
+      (** detector fast-path toggle — guaranteed not to change digests *)
+  max_ops : int;
+}
+
+val default : config
+(** All shipped plans × all eight chaos test cases × both resilience
+    settings. *)
+
+val quick : config
+(** The CI smoke subset: plans [drop]/[dup]/[oom] on T2 and T6. *)
+
+val cell_resilience : Sip.Proxy.resilience
+(** The knobs every resilient cell runs with (low high-water mark so
+    pool cells actually shed). *)
+
+(** One post-run invariant check. *)
+type oracle = { o_name : string; o_ok : bool; o_detail : string }
+
+type cell = {
+  cl_plan : string;
+  cl_test : string;
+  cl_resilient : bool;
+  cl_oracles : oracle list;
+  cl_violations : string list;
+  cl_locations : int;
+  cl_sig_digest : string;
+  cl_behavior_digest : string;
+  cl_unanswered : int;
+  cl_wrong_finals : int;
+  cl_shed_seen : int;
+  cl_sheds : int;
+  cl_cache_hits : int;
+  cl_retransmits : int;
+  cl_injected : Faults.Injector.counts;
+  cl_thread_failures : int;
+  cl_deadlocked : bool;
+  cl_wall : float;
+}
+
+val run_cell :
+  config -> plan:Faults.Plan.t -> resilient:bool -> Sip.Workload.test_case -> cell
+
+type report = {
+  rp_seed : int;
+  rp_fast_path : bool;
+  rp_cells : cell list;
+  rp_resilient_violations : int;
+  rp_baseline_violations : int;
+}
+
+val run : config -> report
+
+val passed : report -> bool
+(** Resilient cells all clean AND at least one baseline cell violates
+    an oracle — the asymmetry the resilience layer must produce. *)
+
+val matrix_digest : report -> string
+(** MD5 over every cell's (plan, test, resilient, signature digest,
+    behaviour digest, violations) — the determinism pin. *)
+
+val to_json : ?config:config -> report -> Obs.Json.t
+(** Schema [raceguard-chaos/1]. *)
+
+val pp : Format.formatter -> report -> unit

@@ -36,6 +36,9 @@ type split = {
   destructor_fp : int;  (** removed by the DR annotation *)
   remaining : int;  (** still reported by HWLC+DR *)
   remaining_true : int;  (** remaining & matching a known injected bug *)
+  remaining_recovery : int;
+      (** remaining & running through the resilience machinery
+          (recovery-path traffic, not an injected bug) *)
   remaining_other : int;  (** remaining, not attributed (pool FPs etc.) *)
   total : int;
 }
@@ -47,8 +50,12 @@ let split ~original ~hwlc ~hwlc_dr =
   let hw_lock_fp = Sig_set.cardinal (Sig_set.diff so sh) in
   let destructor_fp = Sig_set.cardinal (Sig_set.diff sh sd) in
   let is_true (r : Det.Report.t) = Sip.Bugs.identify r.stack <> [] in
+  let is_recovery (r : Det.Report.t) = (not (is_true r)) && Sip.Bugs.recovery_path r.stack in
   let remaining_true =
     List.length (List.filter (fun (r, _) -> is_true r) hwlc_dr)
+  in
+  let remaining_recovery =
+    List.length (List.filter (fun (r, _) -> is_recovery r) hwlc_dr)
   in
   let remaining = List.length hwlc_dr in
   {
@@ -56,7 +63,8 @@ let split ~original ~hwlc ~hwlc_dr =
     destructor_fp;
     remaining;
     remaining_true;
-    remaining_other = remaining - remaining_true;
+    remaining_recovery;
+    remaining_other = remaining - remaining_true - remaining_recovery;
     total = Sig_set.cardinal so;
   }
 

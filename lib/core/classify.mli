@@ -17,6 +17,9 @@ type split = {
   destructor_fp : int;  (** removed by the DR annotation *)
   remaining : int;  (** still reported by HWLC+DR *)
   remaining_true : int;  (** remaining & matching a known injected bug *)
+  remaining_recovery : int;
+      (** remaining & running through the resilience machinery
+          (recovery-path traffic, not an injected bug) *)
   remaining_other : int;  (** remaining, unattributed (pool FPs etc.) *)
   total : int;  (** locations reported by the Original configuration *)
 }

@@ -25,6 +25,8 @@ type config = {
   max_ops : int;
   tracer : Obs.Trace.t option;
       (** offered every VM event and every detector decision *)
+  faults : Raceguard_faults.Injector.t option;
+      (** fault injector consulted by the engine's spawn/lock hooks *)
 }
 
 let default =
@@ -43,6 +45,7 @@ let default =
     trace_events = false;
     max_ops = 50_000_000;
     tracer = None;
+    faults = None;
   }
 
 type result = {
@@ -65,6 +68,7 @@ let run_main config main =
       trace_events = config.trace_events;
       max_ops = config.max_ops;
       tracer = config.tracer;
+      faults = config.faults;
     }
   in
   let vm = Vm.Engine.create ~config:vm_config () in

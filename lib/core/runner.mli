@@ -25,6 +25,10 @@ type config = {
   tracer : Obs.Trace.t option;
       (** installed on the VM and on every Helgrind instance, so one
           ring receives both VM events and detector decisions *)
+  faults : Raceguard_faults.Injector.t option;
+      (** fault injector handed to the engine (spawn-delay and
+          lock-delay faults); share the instance wired into the
+          transport and server config for one coherent plan *)
 }
 
 val default : config

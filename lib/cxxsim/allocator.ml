@@ -20,6 +20,7 @@
 
 module Loc = Raceguard_util.Loc
 module Api = Raceguard_vm.Api
+module Injector = Raceguard_faults.Injector
 
 type mode = Direct | Pooled
 
@@ -32,16 +33,21 @@ let slab_chunks = 32
 
 type t = {
   mode : mode;
+  faults : Injector.t option;
   free_lists : (int, int list ref) Hashtbl.t;  (** size -> chunk addresses *)
   mutable slabs_allocated : int;
   mutable pool_hits : int;
 }
 
-let create mode = { mode; free_lists = Hashtbl.create 16; slabs_allocated = 0; pool_hits = 0 }
+let create ?faults mode =
+  { mode; faults; free_lists = Hashtbl.create 16; slabs_allocated = 0; pool_hits = 0 }
 
 let lc line = Loc.v "pool_allocator.h" "__pool_alloc" line
 
 let alloc t ~loc n =
+  (match t.faults with
+  | Some inj when Injector.alloc_fails inj -> raise Injector.Out_of_memory
+  | _ -> ());
   match t.mode with
   | Direct -> Api.alloc ~loc n
   | Pooled -> (

@@ -16,8 +16,16 @@ val slab_chunks : int
 
 type t
 
-val create : mode -> t
+val create : ?faults:Raceguard_faults.Injector.t -> mode -> t
+(** [?faults]: when given, every allocation first consults the
+    injector's allocation-failure stream and raises
+    {!Raceguard_faults.Injector.Out_of_memory} when the fault fires
+    (the simulated [std::bad_alloc]). *)
+
 val alloc : t -> loc:Loc.t -> int -> int
+(** May raise [Raceguard_faults.Injector.Out_of_memory] when an
+    injected allocation failure fires. *)
+
 val free : t -> loc:Loc.t -> int -> int -> unit
 (** [free t ~loc addr n]: release a chunk of size [n]. *)
 

@@ -1,0 +1,61 @@
+(** The seeded decision engine behind a {!Plan}.
+
+    One injector instance serves one run.  Each fault category draws
+    from its own [Util.Rng] stream (derived with [Rng.split] from the
+    run seed and the plan name), so consulting one category never
+    perturbs another — and, crucially, never perturbs the scheduler's
+    stream.  Every "did it fire?" outcome is counted, both in the
+    process-wide metrics registry ([faults.injected.*]) and in
+    per-instance counters the chaos oracles read as ground truth. *)
+
+exception Out_of_memory
+(** Raised by the allocator when an allocation-failure fault fires. *)
+
+type t
+
+type datagram_decision =
+  | Deliver
+  | Drop
+  | Duplicate
+  | Delay_by of int
+  | Corrupt_with of int  (** payload xor key for deterministic mangling *)
+
+val create : seed:int -> plan:Plan.t -> t
+val plan : t -> Plan.t
+
+val is_off : t -> bool
+(** True when the plan is {!Plan.none}: every hook below is a
+    constant-time no-op returning the "nothing happened" value. *)
+
+val datagram : t -> datagram_decision
+(** Decide the fate of one outbound datagram.  Reorder faults
+    materialise as short {!Delay_by} postponements. *)
+
+val alloc_fails : t -> bool
+(** Consulted once per pool allocation; true = raise OOM upstream. *)
+
+val spawn_delay : t -> int
+(** Extra ticks before a freshly spawned thread first runs (0 = none). *)
+
+val lock_delay : t -> int
+(** Extra ticks a thread stalls inside a mutex acquisition (0 = none). *)
+
+val corrupt_wire : key:int -> string -> string
+(** Deterministically mangle a payload: flips bytes chosen by [key].
+    Pure — exposed for tests. *)
+
+(** Ground truth for oracles and reports: *)
+
+type counts = {
+  c_dropped : int;
+  c_duplicated : int;
+  c_delayed : int;
+  c_corrupted : int;
+  c_alloc_failures : int;
+  c_spawn_delays : int;
+  c_lock_delays : int;
+}
+
+val counts : t -> counts
+val total : counts -> int
+val counts_to_json : counts -> Raceguard_obs.Json.t

@@ -1,0 +1,143 @@
+module Json = Raceguard_obs.Json
+
+type datagram = {
+  drop : int;
+  duplicate : int;
+  delay : int;
+  delay_ticks : int * int;
+  reorder : int;
+  corrupt : int;
+}
+
+type t = {
+  p_name : string;
+  p_datagram : datagram;
+  p_alloc_failure : int;
+  p_alloc_failure_after : int;
+  p_spawn_delay : int;
+  p_spawn_delay_ticks : int * int;
+  p_lock_delay : int;
+  p_lock_delay_ticks : int * int;
+}
+
+let no_datagram =
+  {
+    drop = 0;
+    duplicate = 0;
+    delay = 0;
+    delay_ticks = (0, 0);
+    reorder = 0;
+    corrupt = 0;
+  }
+
+let none =
+  {
+    p_name = "none";
+    p_datagram = no_datagram;
+    p_alloc_failure = 0;
+    p_alloc_failure_after = 0;
+    p_spawn_delay = 0;
+    p_spawn_delay_ticks = (0, 0);
+    p_lock_delay = 0;
+    p_lock_delay_ticks = (0, 0);
+  }
+
+let is_none t = { t with p_name = "none" } = none
+
+(* Shipped plans.  Rates are chosen so every plan visibly perturbs a
+   reduced T-workload (tens of requests) without making the
+   fault-free completion of a resilient run improbable: datagram
+   faults sit in the 8–20% band, structural faults lower. *)
+
+let drop = { none with p_name = "drop"; p_datagram = { no_datagram with drop = 150 } }
+
+let dup =
+  { none with p_name = "dup"; p_datagram = { no_datagram with duplicate = 200 } }
+
+let delay =
+  {
+    none with
+    p_name = "delay";
+    p_datagram = { no_datagram with delay = 200; delay_ticks = (30, 120) };
+  }
+
+let reorder =
+  {
+    none with
+    p_name = "reorder";
+    p_datagram = { no_datagram with reorder = 250; delay_ticks = (5, 25) };
+  }
+
+let corrupt =
+  { none with p_name = "corrupt"; p_datagram = { no_datagram with corrupt = 120 } }
+
+let oom =
+  (* container allocations are rare (a few dozen per run: map nodes and
+     vector growth), so the rate is high and the grace window short *)
+  { none with p_name = "oom"; p_alloc_failure = 300; p_alloc_failure_after = 4 }
+
+let slow_threads =
+  {
+    none with
+    p_name = "slow-threads";
+    p_spawn_delay = 300;
+    p_spawn_delay_ticks = (20, 90);
+    p_lock_delay = 60;
+    p_lock_delay_ticks = (5, 30);
+  }
+
+let mayhem =
+  {
+    p_name = "mayhem";
+    p_datagram =
+      {
+        drop = 60;
+        duplicate = 80;
+        delay = 80;
+        delay_ticks = (10, 60);
+        reorder = 80;
+        corrupt = 40;
+      };
+    p_alloc_failure = 60;
+    p_alloc_failure_after = 30;
+    p_spawn_delay = 120;
+    p_spawn_delay_ticks = (10, 40);
+    p_lock_delay = 40;
+    p_lock_delay_ticks = (5, 20);
+  }
+
+let shipped = [ drop; dup; delay; reorder; corrupt; oom; slow_threads; mayhem ]
+
+let lookup name =
+  if name = "none" then Some none
+  else List.find_opt (fun p -> p.p_name = name) shipped
+
+let has_drops t =
+  t.p_datagram.drop > 0 || t.p_datagram.corrupt > 0 || t.p_alloc_failure > 0
+
+let range_json (lo, hi) = Json.List [ Json.int lo; Json.int hi ]
+
+let to_json t =
+  let d = t.p_datagram in
+  Json.Obj
+    [
+      ("name", Json.Str t.p_name);
+      ( "datagram",
+        Json.Obj
+          [
+            ("drop", Json.int d.drop);
+            ("duplicate", Json.int d.duplicate);
+            ("delay", Json.int d.delay);
+            ("delay_ticks", range_json d.delay_ticks);
+            ("reorder", Json.int d.reorder);
+            ("corrupt", Json.int d.corrupt);
+          ] );
+      ("alloc_failure", Json.int t.p_alloc_failure);
+      ("alloc_failure_after", Json.int t.p_alloc_failure_after);
+      ("spawn_delay", Json.int t.p_spawn_delay);
+      ("spawn_delay_ticks", range_json t.p_spawn_delay_ticks);
+      ("lock_delay", Json.int t.p_lock_delay);
+      ("lock_delay_ticks", range_json t.p_lock_delay_ticks);
+    ]
+
+let pp fmt t = Fmt.pf fmt "%s" (Json.to_string (to_json t))

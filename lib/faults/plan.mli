@@ -1,0 +1,57 @@
+(** Fault plans: the declarative description of what a hostile
+    environment does to one run.
+
+    A plan is pure data — per-mille probabilities and tick ranges for
+    each fault category.  All randomness is drawn later, by
+    {!Injector}, from dedicated streams derived from the run seed, so
+    (seed, plan) fully determines every injected fault and the run
+    stays bit-for-bit reproducible.
+
+    Probabilities are expressed in per-mille (0–1000) so plans stay
+    integer-only and digest-stable. *)
+
+type datagram = {
+  drop : int;  (** ‰ chance a datagram disappears *)
+  duplicate : int;  (** ‰ chance a datagram is delivered twice *)
+  delay : int;  (** ‰ chance delivery is postponed *)
+  delay_ticks : int * int;  (** (lo, hi) postponement in VM ticks *)
+  reorder : int;
+      (** ‰ chance a datagram is held back just long enough for later
+          traffic to overtake it (a short postponement) *)
+  corrupt : int;  (** ‰ chance payload bytes are flipped *)
+}
+
+type t = {
+  p_name : string;
+  p_datagram : datagram;
+  p_alloc_failure : int;  (** ‰ chance a container allocation fails *)
+  p_alloc_failure_after : int;
+      (** allocations always succeed until this many were served *)
+  p_spawn_delay : int;  (** ‰ chance a spawned thread starts late *)
+  p_spawn_delay_ticks : int * int;
+  p_lock_delay : int;
+      (** ‰ chance a free-mutex acquisition stalls its caller while
+          already holding the lock (slow-acquire / convoying fault) *)
+  p_lock_delay_ticks : int * int;
+}
+
+val none : t
+(** The empty plan: every probability zero.  An injector driven by it
+    never fires, which is what the chaos-off overhead gate measures. *)
+
+val is_none : t -> bool
+
+val shipped : t list
+(** The named plans exercised by the chaos matrix: [drop], [dup],
+    [delay], [reorder], [corrupt], [oom], [slow-threads], [mayhem]. *)
+
+val lookup : string -> t option
+(** Find a shipped plan (or ["none"]) by name. *)
+
+val has_drops : t -> bool
+(** True when the plan can make a datagram or a whole request vanish
+    (drop / corrupt / allocation faults) — relaxes the
+    attempted-registration oracle. *)
+
+val to_json : t -> Raceguard_obs.Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+module Rng = Raceguard_util.Rng
+
+type params = {
+  base : int;
+  factor_num : int;
+  factor_den : int;
+  cap : int;
+  jitter_pct : int;
+}
+
+let default = { base = 50; factor_num = 2; factor_den = 1; cap = 400; jitter_pct = 25 }
+
+let max_delay p = p.cap + (p.cap * p.jitter_pct / 100)
+
+let schedule p ~seed ~attempts =
+  let rng = Rng.create ~seed:(seed lxor 0x5DEECE66) in
+  let ceiling = max_delay p in
+  let rec go k raw prev acc =
+    if k >= attempts then List.rev acc
+    else begin
+      let raw = min p.cap (max 1 raw) in
+      let jitter = if p.jitter_pct <= 0 then 0 else Rng.int rng (1 + (raw * p.jitter_pct / 100)) in
+      (* [max prev]: jitter can never make attempt k shorter than
+         attempt k-1 — monotonicity is part of the contract *)
+      let d = min ceiling (max prev (raw + jitter)) in
+      let next_raw =
+        if raw >= p.cap then p.cap else raw * p.factor_num / max 1 p.factor_den
+      in
+      go (k + 1) next_raw d (d :: acc)
+    end
+  in
+  go 0 p.base 1 []
+
+let delay p ~seed ~attempt =
+  match List.nth_opt (schedule p ~seed ~attempts:(attempt + 1)) attempt with
+  | Some d -> d
+  | None -> max_delay p

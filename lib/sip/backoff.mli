@@ -1,0 +1,31 @@
+(** Exponential backoff schedules for retransmission.
+
+    Pure host-side arithmetic — no VM operations — shared by the
+    server's retransmission timer and the chaos test drivers.  A
+    schedule is fully determined by (params, seed): jitter comes from a
+    private splitmix stream, and the schedule is monotone
+    nondecreasing and capped by construction (qcheck-pinned). *)
+
+type params = {
+  base : int;  (** first delay, ticks *)
+  factor_num : int;
+  factor_den : int;  (** growth ratio per attempt, as a fraction > 1 *)
+  cap : int;  (** ceiling for the un-jittered delay *)
+  jitter_pct : int;  (** max jitter as % of the un-jittered delay *)
+}
+
+val default : params
+(** T1-timer-flavoured: base 50, ×2 per attempt, cap 400, 25% jitter. *)
+
+val max_delay : params -> int
+(** Hard ceiling for any delay the schedule can produce:
+    [cap + cap * jitter_pct / 100]. *)
+
+val schedule : params -> seed:int -> attempts:int -> int list
+(** The first [attempts] delays.  Guarantees, for any params with
+    [base >= 1]: every element >= 1, the list is monotone
+    nondecreasing, and every element <= [max_delay params].  Equal
+    (params, seed, attempts) give equal lists. *)
+
+val delay : params -> seed:int -> attempt:int -> int
+(** [delay p ~seed ~attempt] = k-th element (0-based) of the schedule. *)

@@ -60,6 +60,22 @@ let stack_matches bug (frames : (string * string) list) =
   | B6_racy_counters ->
       any_frame (fun (func, file) -> file = "stats.cpp" && starts_with "Stats::on" func)
 
+(** Is this stack part of the resilience/recovery machinery (response
+    cache, timer cancellation/resend)?  Recovery-path traffic is
+    correctly synchronised new code the chaos matrix exercises; the
+    E10-style classification separates it from the injected bugs. *)
+let recovery_path (stack : Raceguard_util.Loc.t list) =
+  let starts_with prefix s =
+    String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+  in
+  List.exists
+    (fun l ->
+      let file = Raceguard_util.Loc.file l and func = Raceguard_util.Loc.func l in
+      file = "txn_cache.cpp"
+      || (file = "timer_wheel.cpp"
+         && (starts_with "TimerWheel::cancel" func || starts_with "TimerWheel::resend" func)))
+    stack
+
 (** Classify a report against the known bugs. *)
 let identify (stack : Raceguard_util.Loc.t list) =
   let frames =

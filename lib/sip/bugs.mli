@@ -16,3 +16,8 @@ val description : id -> string
 
 val identify : Raceguard_util.Loc.t list -> id list
 (** Which known bugs a report call stack witnesses (possibly none). *)
+
+val recovery_path : Raceguard_util.Loc.t list -> bool
+(** Does the stack run through the resilience machinery (response
+    cache, timer cancel/resend)?  Used to separate recovery-path
+    traffic from injected bugs in the chaos classification. *)

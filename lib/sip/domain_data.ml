@@ -27,6 +27,9 @@ module Containers = Raceguard_cxxsim.Containers
 
 let lc func line = Loc.v "domain_data.cpp" ("ServerModulesManagerImpl::" ^ func) line
 
+let m_reload_oom =
+  Raceguard_obs.Metrics.counter "sip.resilience.reload_alloc_recovered"
+
 (* class ConfigObject { int version; }
    class DomainData : ConfigObject { RefString name; int max_calls; int features; } *)
 let config_object_class =
@@ -51,6 +54,7 @@ type t = {
   mutable reload_thread : int;
   stop_flag : int;
   init_racy : bool;  (** B2 toggle: populate after starting the reloader *)
+  recover_alloc_failure : bool;  (** survive injected allocation faults *)
   domains : string list;
 }
 
@@ -104,13 +108,17 @@ let run_reloader t ~annotate () =
     Api.sleep 25;
     if Api.read ~loc:(lc "reloader" 87) t.stop_flag = 0 then begin
       incr gen;
-      reload t ~annotate !gen
+      try reload t ~annotate !gen
+      with Raceguard_faults.Injector.Out_of_memory when t.recover_alloc_failure ->
+        (* injected allocation failure mid-reload: skip this generation
+           instead of killing the reload thread *)
+        Raceguard_obs.Metrics.incr m_reload_oom
     end
   done
 
 (** Create the manager.  With [init_racy = true] (the shipped code) the
     reload thread starts {e before} [populate] runs — bug B2. *)
-let create ~alloc ~annotate ~init_racy ~domains =
+let create ~alloc ~annotate ~init_racy ?(recover_alloc_failure = false) ~domains () =
   let t =
     {
       mutex = Api.Mutex.create ~loc:(lc "ctor" 98) "domain_data.mutex";
@@ -119,6 +127,7 @@ let create ~alloc ~annotate ~init_racy ~domains =
       reload_thread = -1;
       stop_flag = Api.alloc ~loc:(lc "ctor" 101) 1;
       init_racy;
+      recover_alloc_failure;
       domains;
     }
   in

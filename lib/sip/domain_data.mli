@@ -13,10 +13,14 @@ val create :
   alloc:Raceguard_cxxsim.Allocator.t ->
   annotate:bool ->
   init_racy:bool ->
+  ?recover_alloc_failure:bool ->
   domains:string list ->
+  unit ->
   t
 (** With [init_racy] (the shipped code) the reload thread starts before
-    the initial population — bug B2. *)
+    the initial population — bug B2.  [recover_alloc_failure] makes the
+    reload thread skip a generation on an injected allocation failure
+    instead of dying (resilient builds). *)
 
 val get_domain_data : t -> int
 (** Figure 7: lock, read the internal map's address, unlock, return the

@@ -20,17 +20,43 @@
     of derived objects deleted after unlinking from shared tables,
     copy-on-write strings with bus-locked reference counters, stop
     flags written with [LOCK]-prefixed stores, and (optionally) the
-    pooled container allocator. *)
+    pooled container allocator.
+
+    With [config.resilience] set the server additionally behaves like
+    a hardened RFC 3261 element: final responses are cached and replay
+    retransmitted requests ({!Txn_cache}), INVITE 200s are retransmitted
+    with exponential backoff until ACKed ({!Timer_wheel} + {!Backoff}),
+    requests past their deadline and datagrams arriving over the pool's
+    high-water mark are deliberately shed with 503 + Retry-After, and
+    injected allocation failures are converted to 503s instead of dead
+    workers. *)
 
 module Loc = Raceguard_util.Loc
 module Api = Raceguard_vm.Api
 module Obj_model = Raceguard_cxxsim.Object_model
 module Refstring = Raceguard_cxxsim.Refstring
 module Allocator = Raceguard_cxxsim.Allocator
+module Metrics = Raceguard_obs.Metrics
 
 let lc func line = Loc.v "proxy.cpp" ("SipProxy::" ^ func) line
 
+let m_shed = Metrics.counter "sip.resilience.shed"
+let m_deadline_dropped = Metrics.counter "sip.resilience.deadline_dropped"
+let m_oom_503 = Metrics.counter "sip.resilience.oom_503"
+let m_invite_replayed = Metrics.counter "sip.resilience.invite_replayed"
+
 type pattern = Per_request | Pool of int
+
+type resilience = {
+  res_shed_high_water : int;
+      (** pool-queue depth at which the listener starts shedding *)
+  res_retry_after : int;  (** Retry-After value on shed 503s (ticks) *)
+  res_deadline : int;
+      (** drop (with 503) requests older than this when dequeued;
+          0 disables the deadline check *)
+}
+
+let default_resilience = { res_shed_high_water = 12; res_retry_after = 60; res_deadline = 300 }
 
 type config = {
   annotate : bool;  (** built with the DR instrumentation? *)
@@ -43,6 +69,12 @@ type config = {
   require_auth : bool;
       (** challenge REGISTERs with a digest nonce (401 flow) *)
   domains : string list;
+  resilience : resilience option;
+      (** [None] = the legacy server; [Some _] enables the recovery
+          paths (response cache, 200 retransmission, shedding) *)
+  faults : Raceguard_faults.Injector.t option;
+      (** fault injector shared with the transport/engine, consulted by
+          the allocator (allocation-failure faults) *)
 }
 
 let default_config =
@@ -56,6 +88,8 @@ let default_config =
     use_leaked_ref = true;
     require_auth = false;
     domains = [ "example.com"; "voip.example.net"; "pbx.local" ];
+    resilience = None;
+    faults = None;
   }
 
 (* class CtxBase { int src_id; }
@@ -68,7 +102,7 @@ let ctx_base_class =
 
 let request_ctx_class =
   Obj_model.define ~parent:ctx_base_class ~name:"RequestCtx"
-    ~fields:[ "buf"; "len"; "status"; "handled"; "latency" ]
+    ~fields:[ "buf"; "len"; "status"; "handled"; "latency"; "born" ]
     ~dtor_body:(fun cls obj ->
       Obj_model.set ~loc:(Loc.v "proxy.cpp" "RequestCtx::~RequestCtx" 67) cls obj "handled" 0)
     ()
@@ -89,6 +123,10 @@ type t = {
   auth : Auth.t;
   timer : Timer_wheel.t;
   watchdog : Watchdog.t option;
+  txn_cache : Txn_cache.t option;  (** response cache, resilient builds only *)
+  retrans : (int, string * string) Hashtbl.t;
+      (** txn_key -> (peer, final 200 wire) awaiting ACK — the host-side
+          mirror backing the timer's resend callback *)
   server_name : Refstring.t;  (** shared banner string *)
   reason_ok : Refstring.t;  (** canned reason phrases, shared across workers *)
   reason_ringing : Refstring.t;
@@ -102,6 +140,7 @@ type t = {
   mutable workers : int list;  (** per-request worker tids *)
   pool : Raceguard_vm.Thread_pool.t option ref;
   mutable requests_handled : int;
+  mutable sheds : int;  (** host-side mirror: 503s sent by overload control *)
 }
 
 let stop_wire = "__STOP__"
@@ -126,20 +165,52 @@ let extract_user uri =
   in
   match String.index_opt uri '@' with Some i -> String.sub uri 0 i | None -> uri
 
-let reply t ~src ?(www_auth = 0) ~status ~reason_rs req_obj =
+let resilient t = Option.is_some t.config.resilience
+
+let retry_after t =
+  match t.config.resilience with Some r -> r.res_retry_after | None -> 0
+
+let txn_key_of (w : Sip_msg.wire_request) =
+  Txn_cache.key ~call_id:w.w_call_id ~cseq:w.w_cseq ~meth:(Sip_msg.meth_code w.w_meth)
+
+(** Cache key for the final response of this transaction, when the
+    response cache is enabled. *)
+let ck t (w : Sip_msg.wire_request) =
+  match t.txn_cache with Some _ -> Some (txn_key_of w) | None -> None
+
+(** A matchable 503 built host-side (no allocation): the recovery path
+    for requests we refuse or cannot serve. *)
+let unavailable_wire (w : Sip_msg.wire_request) ~retry_after =
+  Printf.sprintf
+    "SIP/2.0 503 Service Unavailable\r\nFrom: %s\r\nTo: %s\r\nCall-ID: %s\r\nCSeq: %d\r\nRetry-After: %d\r\n\r\n"
+    w.w_from w.w_to w.w_call_id w.w_cseq retry_after
+
+let reply t ~src ?(www_auth = 0) ?store ~status ~reason_rs req_obj =
   let loc = lc "reply" 120 in
   Api.with_frame loc @@ fun () ->
   let resp = Sip_msg.build_response_object ~loc ~www_auth ~status ~reason_rs req_obj in
   let wire = Sip_msg.serialize_response ~loc resp in
-  Transport.send t.transport ~src:"server" ~dst:src wire;
+  (match Transport.send t.transport ~src:"server" ~dst:src wire with
+  | Transport.Dropped_unroutable ->
+      Logger.log t.logger ~loc:(lc "reply" 123) ~level:2
+        (Printf.sprintf "response %d to unroutable peer %s" status src)
+  | Transport.Delivered | Transport.Dropped_fault | Transport.Delayed_fault -> ());
   Stats.incr_total_responses t.stats;
+  (* remember the final response so a retransmitted request is answered
+     from the cache (401 challenges carry one-shot nonces: never cached) *)
+  (match (t.txn_cache, store) with
+  | Some cache, Some key when status >= 200 && status <> 401 ->
+      Txn_cache.store cache ~key ~status ~wire
+  | _ -> ());
   (* the response was created and is deleted by this worker: exclusive,
      so its destructor chain is (correctly) silent *)
-  Obj_model.delete_ ~loc:(lc "reply" 127) ~annotate:t.config.annotate Sip_msg.sip_response resp
+  Obj_model.delete_ ~loc:(lc "reply" 127) ~annotate:t.config.annotate Sip_msg.sip_response resp;
+  wire
 
 let reply_raw t ~src ~status ~reason =
-  Transport.send t.transport ~src:"server" ~dst:src
-    (Printf.sprintf "SIP/2.0 %d %s\r\n\r\n" status reason);
+  ignore
+    (Transport.send t.transport ~src:"server" ~dst:src
+       (Printf.sprintf "SIP/2.0 %d %s\r\n\r\n" status reason));
   Stats.incr_total_responses t.stats
 
 let record_history t ~src_id (w : Sip_msg.wire_request) ~outcome =
@@ -147,6 +218,15 @@ let record_history t ~src_id (w : Sip_msg.wire_request) ~outcome =
   (* timestamp the handler trace with the non-thread-safe ctime (B5) *)
   ignore (Timeutil.ctime t.time);
   History.record t.history ~src_id ~meth:(Sip_msg.meth_code w.w_meth) ~uri:w.w_uri ~outcome
+
+(** Drop the awaiting-ACK state of a terminated INVITE transaction:
+    cancel pending 200 retransmissions and forget the cached wire. *)
+let clear_retransmit t ~call_id =
+  if resilient t then begin
+    let txn_key = Registrar.hash_string call_id in
+    ignore (Timer_wheel.cancel t.timer ~txn_key);
+    Hashtbl.remove t.retrans txn_key
+  end
 
 let handle_register t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
   Api.with_frame (lc "handleRegister" 137) @@ fun () ->
@@ -159,14 +239,14 @@ let handle_register t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
   if not authorized then begin
     (* RFC 2617 challenge: issue a nonce and ask the UAC to retry *)
     let nonce = Auth.challenge t.auth ~user:aor in
-    reply t ~src ~www_auth:nonce ~status:401 ~reason_rs:t.reason_unauthorized req_obj
+    ignore (reply t ~src ~www_auth:nonce ~status:401 ~reason_rs:t.reason_unauthorized req_obj)
   end
   else
   if w.w_expires = 0 then begin
     let existed = Registrar.unregister t.registrar ~annotate:t.config.annotate ~aor in
     Logger.log t.logger ~loc:(lc "handleRegister" 140) ~level:1
       (Printf.sprintf "unregister %s (%b)" aor existed);
-    reply t ~src ~status:200 ~reason_rs:t.reason_ok req_obj
+    ignore (reply t ~src ?store:(ck t w) ~status:200 ~reason_rs:t.reason_ok req_obj)
   end
   else begin
     let expires = if w.w_expires > 0 then w.w_expires else 3600 in
@@ -177,7 +257,7 @@ let handle_register t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
     Logger.log t.logger ~loc:(lc "handleRegister" 150) ~level:1
       (Printf.sprintf "register %s -> %s (%s)" aor w.w_contact
          (match outcome with `Registered -> "new" | `Refreshed -> "refresh"));
-    reply t ~src ~status:200 ~reason_rs:t.reason_ok req_obj
+    ignore (reply t ~src ?store:(ck t w) ~status:200 ~reason_rs:t.reason_ok req_obj)
   end
 
 let handle_invite t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
@@ -195,23 +275,38 @@ let handle_invite t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
   | None ->
       Logger.log t.logger ~loc:(lc "handleInvite" 167) ~level:2
         (Printf.sprintf "INVITE %s: callee not registered" callee);
-      reply t ~src ~status:404 ~reason_rs:t.reason_not_found req_obj
+      ignore (reply t ~src ?store:(ck t w) ~status:404 ~reason_rs:t.reason_not_found req_obj)
   | Some contact_copy ->
       (* we own one reference to the contact string now *)
-      let started =
-        Dialogs.start_call t.dialogs ~caller:w.w_from ~callee:w.w_to ~call_id:w.w_call_id
-          ~cseq:w.w_cseq
+      let txn_key = Registrar.hash_string w.w_call_id in
+      let rec establish ~retry_left =
+        let started =
+          Dialogs.start_call t.dialogs ~caller:w.w_from ~callee:w.w_to ~call_id:w.w_call_id
+            ~cseq:w.w_cseq
+        in
+        if started then begin
+          Timer_wheel.schedule_retransmit t.timer ~txn_key ~delay:40;
+          Logger.log t.logger ~loc:(lc "handleInvite" 179) ~level:1
+            (Printf.sprintf "call %s -> %s via %s" w.w_from w.w_to
+               (Refstring.to_string contact_copy));
+          ignore (reply t ~src ~status:180 ~reason_rs:t.reason_ringing req_obj);
+          let wire = reply t ~src ?store:(ck t w) ~status:200 ~reason_rs:t.reason_ok req_obj in
+          if resilient t then Hashtbl.replace t.retrans txn_key (src, wire)
+        end
+        else if retry_left > 0 && resilient t then begin
+          (* a duplicate INVITE whose original transaction is still live
+             (its 200 may have been lost before the cache saw it): tear
+             the half-open dialog down and re-establish, instead of the
+             legacy spurious 482 *)
+          Metrics.incr m_invite_replayed;
+          clear_retransmit t ~call_id:w.w_call_id;
+          ignore (Dialogs.end_call t.dialogs ~annotate:t.config.annotate ~call_id:w.w_call_id);
+          establish ~retry_left:(retry_left - 1)
+        end
+        else
+          ignore (reply t ~src ?store:(ck t w) ~status:482 ~reason_rs:t.reason_bad_request req_obj)
       in
-      if started then begin
-        Timer_wheel.schedule_retransmit t.timer
-          ~txn_key:(Registrar.hash_string w.w_call_id) ~delay:40;
-        Logger.log t.logger ~loc:(lc "handleInvite" 179) ~level:1
-          (Printf.sprintf "call %s -> %s via %s" w.w_from w.w_to
-             (Refstring.to_string contact_copy));
-        reply t ~src ~status:180 ~reason_rs:t.reason_ringing req_obj;
-        reply t ~src ~status:200 ~reason_rs:t.reason_ok req_obj
-      end
-      else reply t ~src ~status:482 ~reason_rs:t.reason_bad_request req_obj;
+      establish ~retry_left:1;
       Refstring.release contact_copy
 
 let handle_bye t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
@@ -220,15 +315,21 @@ let handle_bye t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
   let ended = Dialogs.end_call t.dialogs ~annotate:t.config.annotate ~call_id:w.w_call_id in
   Logger.log t.logger ~loc:(lc "handleBye" 191) ~level:1
     (Printf.sprintf "BYE %s (%b)" w.w_call_id ended);
-  if ended then reply t ~src ~status:200 ~reason_rs:t.reason_ok req_obj
-  else reply t ~src ~status:481 ~reason_rs:t.reason_gone req_obj
+  if ended then begin
+    clear_retransmit t ~call_id:w.w_call_id;
+    ignore (reply t ~src ?store:(ck t w) ~status:200 ~reason_rs:t.reason_ok req_obj)
+  end
+  else ignore (reply t ~src ?store:(ck t w) ~status:481 ~reason_rs:t.reason_gone req_obj)
 
 let handle_cancel t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
   Api.with_frame (lc "handleCancel" 197) @@ fun () ->
   record_history t ~src_id w ~outcome:487;
   let ok = Dialogs.cancel t.dialogs ~call_id:w.w_call_id in
-  if ok then reply t ~src ~status:200 ~reason_rs:t.reason_ok req_obj
-  else reply t ~src ~status:481 ~reason_rs:t.reason_gone req_obj
+  if ok then begin
+    clear_retransmit t ~call_id:w.w_call_id;
+    ignore (reply t ~src ?store:(ck t w) ~status:200 ~reason_rs:t.reason_ok req_obj)
+  end
+  else ignore (reply t ~src ?store:(ck t w) ~status:481 ~reason_rs:t.reason_gone req_obj)
 
 let handle_options t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
   Api.with_frame (lc "handleOptions" 202) @@ fun () ->
@@ -239,10 +340,10 @@ let handle_options t ~src ~src_id (w : Sip_msg.wire_request) req_obj =
   Logger.log t.logger ~loc:(lc "handleOptions" 204) ~level:0
     (Printf.sprintf "OPTIONS served by %s" (Refstring.to_string banner));
   Refstring.release banner;
-  reply t ~src ~status:200 ~reason_rs:t.reason_ok req_obj
+  ignore (reply t ~src ~status:200 ~reason_rs:t.reason_ok req_obj)
 
 (** The per-request worker body: parse, dispatch, clean up. *)
-let process_request t ~src_id ~buf ~len =
+let process_request t ~src_id ~buf ~len ~born =
   let loc = lc "processRequest" 212 in
   Api.with_frame loc @@ fun () ->
   (match t.watchdog with Some w -> Watchdog.before_lock w | None -> ());
@@ -255,17 +356,62 @@ let process_request t ~src_id ~buf ~len =
       Logger.log t.logger ~loc:(lc "processRequest" 221) ~level:2 ("parse error: " ^ why);
       reply_raw t ~src ~status:400 ~reason:"Bad Request"
   | w ->
-      let req_obj = Sip_msg.build_request_object ~loc w in
-      (match w.w_meth with
-      | Sip_msg.REGISTER -> handle_register t ~src ~src_id w req_obj
-      | Sip_msg.INVITE -> handle_invite t ~src ~src_id w req_obj
-      | Sip_msg.ACK -> ignore (Dialogs.confirm t.dialogs ~call_id:w.w_call_id)
-      | Sip_msg.BYE -> handle_bye t ~src ~src_id w req_obj
-      | Sip_msg.CANCEL -> handle_cancel t ~src ~src_id w req_obj
-      | Sip_msg.OPTIONS -> handle_options t ~src ~src_id w req_obj);
-      (* request object was created and dies here: exclusive, silent *)
-      Obj_model.delete_ ~loc:(lc "processRequest" 234) ~annotate:t.config.annotate
-        Sip_msg.sip_request req_obj);
+      let answered_from_cache =
+        match t.txn_cache with
+        | Some cache when w.w_meth <> Sip_msg.ACK -> (
+            match Txn_cache.lookup cache ~key:(txn_key_of w) with
+            | Some wire ->
+                (* a retransmission of a completed transaction: replay
+                   the final response instead of re-executing (§17.2) *)
+                ignore (Transport.send t.transport ~src:"server" ~dst:src wire);
+                Stats.incr_total_responses t.stats;
+                true
+            | None -> false)
+        | _ -> false
+      in
+      let past_deadline =
+        match t.config.resilience with
+        | Some r -> r.res_deadline > 0 && Api.now () - born > r.res_deadline
+        | None -> false
+      in
+      if answered_from_cache then ()
+      else if past_deadline then begin
+        (* the client has long since retransmitted or given up: answer
+           cheaply and deliberately instead of doing stale work *)
+        Metrics.incr m_deadline_dropped;
+        t.sheds <- t.sheds + 1;
+        ignore
+          (Transport.send t.transport ~src:"server" ~dst:src
+             (unavailable_wire w ~retry_after:(retry_after t)));
+        Stats.incr_total_responses t.stats
+      end
+      else begin
+        let req_obj = Sip_msg.build_request_object ~loc w in
+        (try
+           match w.w_meth with
+           | Sip_msg.REGISTER -> handle_register t ~src ~src_id w req_obj
+           | Sip_msg.INVITE -> handle_invite t ~src ~src_id w req_obj
+           | Sip_msg.ACK ->
+               ignore (Dialogs.confirm t.dialogs ~call_id:w.w_call_id);
+               (* the ACK ends 200 retransmission (RFC 3261 §13.3.1.4) *)
+               clear_retransmit t ~call_id:w.w_call_id
+           | Sip_msg.BYE -> handle_bye t ~src ~src_id w req_obj
+           | Sip_msg.CANCEL -> handle_cancel t ~src ~src_id w req_obj
+           | Sip_msg.OPTIONS -> handle_options t ~src ~src_id w req_obj
+         with Raceguard_faults.Injector.Out_of_memory when resilient t ->
+           (* injected allocation failure: the legacy server lets the
+              worker die; the resilient one degrades to a 503 *)
+           Metrics.incr m_oom_503;
+           Logger.log t.logger ~loc:(lc "processRequest" 233) ~level:2
+             (Printf.sprintf "allocation failure handling %s: 503" w.w_call_id);
+           ignore
+             (Transport.send t.transport ~src:"server" ~dst:src
+                (unavailable_wire w ~retry_after:(retry_after t)));
+           Stats.incr_total_responses t.stats);
+        (* request object was created and dies here: exclusive, silent *)
+        Obj_model.delete_ ~loc:(lc "processRequest" 234) ~annotate:t.config.annotate
+          Sip_msg.sip_request req_obj
+      end);
   (* scrub the datagram before releasing it (it may hold credentials);
      in pool mode these writes hit listener-owned memory *)
   for i = 0 to len - 1 do
@@ -283,8 +429,9 @@ let run_ctx t ctx =
   let src_id = Obj_model.get ~loc cls ctx "src_id" in
   let buf = Obj_model.get ~loc cls ctx "buf" in
   let len = Obj_model.get ~loc cls ctx "len" in
+  let born = Obj_model.get ~loc cls ctx "born" in
   let t0 = Api.now () in
-  process_request t ~src_id ~buf ~len;
+  process_request t ~src_id ~buf ~len ~born;
   (* in pool mode these writes land on memory set up by the listener
      with no create/join edge in between: reported (Figure 11) *)
   Obj_model.set ~loc:(lc "runCtx" 250) cls ctx "status" 200;
@@ -311,6 +458,22 @@ let src_id_of t name =
     t.n_sources - 1
   end
 
+(** Overload control (RFC 3261 §21.5.4): when the pool queue is past
+    the high-water mark, answer 503 + Retry-After straight from the
+    listener and never enqueue the work. *)
+let shed_datagram t ~src wire_peek =
+  Metrics.incr m_shed;
+  t.sheds <- t.sheds + 1;
+  let header name default =
+    match Sip_msg.wire_header wire_peek name with Some v -> v | None -> default
+  in
+  ignore
+    (Transport.send t.transport ~src:"server" ~dst:src
+       (Printf.sprintf
+          "SIP/2.0 503 Service Unavailable\r\nCall-ID: %s\r\nCSeq: %s\r\nRetry-After: %d\r\n\r\n"
+          (header "Call-ID" "?") (header "CSeq" "0") (retry_after t)));
+  Stats.incr_total_responses t.stats
+
 let listener_body t () =
   Api.with_frame (lc "listener" 275) @@ fun () ->
   let continue_ = ref true in
@@ -324,31 +487,44 @@ let listener_body t () =
     else begin
       let loc = lc "listener" 285 in
       let src_id = src_id_of t src in
-      (* the setup writes of Figures 10/11: the listener fills the ctx
-         before handing it over *)
-      let ctx =
-        Obj_model.new_ ~loc request_ctx_class ~init:(fun obj ->
-            let cls = request_ctx_class in
-            Obj_model.set ~loc cls obj "src_id" src_id;
-            Obj_model.set ~loc cls obj "buf" buf;
-            Obj_model.set ~loc cls obj "len" len;
-            Obj_model.set ~loc cls obj "status" 0;
-            Obj_model.set ~loc cls obj "handled" 0;
-            Obj_model.set ~loc cls obj "latency" 0)
+      let overloaded =
+        match (t.config.resilience, !(t.pool)) with
+        | Some r, Some pool ->
+            Raceguard_vm.Thread_pool.queue_length pool >= r.res_shed_high_water
+        | _ -> false
       in
-      match t.config.pattern with
-      | Per_request ->
-          (* Figure 10: ownership passes through thread creation *)
-          let tid =
-            Api.spawn ~loc:(lc "listener" 302) ~name:"worker" (fun () -> run_ctx t ctx)
-          in
-          t.workers <- tid :: t.workers
-      | Pool _ -> (
-          (* Figure 11: ownership passes through the queue — invisible
-             to the lock-set algorithm *)
-          match !(t.pool) with
-          | Some pool -> Raceguard_vm.Thread_pool.submit pool ctx
-          | None -> invalid_arg "listener: pool not started")
+      if overloaded then begin
+        shed_datagram t ~src wire_peek;
+        Api.free ~loc:(lc "listener" 292) buf
+      end
+      else begin
+        (* the setup writes of Figures 10/11: the listener fills the ctx
+           before handing it over *)
+        let ctx =
+          Obj_model.new_ ~loc request_ctx_class ~init:(fun obj ->
+              let cls = request_ctx_class in
+              Obj_model.set ~loc cls obj "src_id" src_id;
+              Obj_model.set ~loc cls obj "buf" buf;
+              Obj_model.set ~loc cls obj "len" len;
+              Obj_model.set ~loc cls obj "status" 0;
+              Obj_model.set ~loc cls obj "handled" 0;
+              Obj_model.set ~loc cls obj "latency" 0;
+              Obj_model.set ~loc cls obj "born" (Api.now ()))
+        in
+        match t.config.pattern with
+        | Per_request ->
+            (* Figure 10: ownership passes through thread creation *)
+            let tid =
+              Api.spawn ~loc:(lc "listener" 302) ~name:"worker" (fun () -> run_ctx t ctx)
+            in
+            t.workers <- tid :: t.workers
+        | Pool _ -> (
+            (* Figure 11: ownership passes through the queue — invisible
+               to the lock-set algorithm *)
+            match !(t.pool) with
+            | Some pool -> Raceguard_vm.Thread_pool.submit pool ctx
+            | None -> invalid_arg "listener: pool not started")
+      end
     end
   done
 
@@ -361,7 +537,8 @@ let listener_body t () =
 let start ~transport config =
   let loc = lc "start" 322 in
   Api.with_frame loc @@ fun () ->
-  let alloc = Allocator.create config.alloc_mode in
+  let resilient_cfg = Option.is_some config.resilience in
+  let alloc = Allocator.create ?faults:config.faults config.alloc_mode in
   let stats = Stats.create () in
   let time = Timeutil.create () in
   let logger = Logger.create ~stats ~time ~annotate:config.annotate in
@@ -371,16 +548,25 @@ let start ~transport config =
   (* B2 lives inside: the reloader starts before the map is filled *)
   let domain_data =
     Domain_data.create ~alloc ~annotate:config.annotate ~init_racy:config.init_racy
-      ~domains:config.domains
+      ~recover_alloc_failure:resilient_cfg ~domains:config.domains ()
   in
   let routing = Routing.create ~domains:config.domains in
   let history = History.create ~annotate:config.annotate ~capacity:6 in
   let auth = Auth.create ~alloc ~annotate:config.annotate in
   let registrar_ref = ref registrar in
+  (* the resend callback closes over [t], which does not exist yet:
+     indirect through a ref cell filled in below *)
+  let resend_ref = ref (fun ~txn_key:_ ~attempt:_ -> false) in
   let timer =
-    Timer_wheel.create ~alloc ~annotate:config.annotate ~housekeeping:(fun () ->
+    Timer_wheel.create ~alloc ~annotate:config.annotate
+      ?resend:
+        (if resilient_cfg then Some (fun ~txn_key ~attempt -> !resend_ref ~txn_key ~attempt)
+         else None)
+      ~recover_alloc_failure:resilient_cfg
+      ~housekeeping:(fun () ->
         ignore (Registrar.expire_stale !registrar_ref ~annotate:config.annotate);
         Routing.refresh routing)
+      ()
   in
   Timer_wheel.start timer;
   let watchdog =
@@ -409,6 +595,10 @@ let start ~transport config =
       auth;
       timer;
       watchdog;
+      txn_cache =
+        (if resilient_cfg then Some (Txn_cache.create ~alloc ~annotate:config.annotate)
+         else None);
+      retrans = Hashtbl.create 32;
       server_name = Refstring.create ~loc "RaceGuard-SIP/0.9 (experimental)";
       reason_ok = Refstring.create ~loc "OK";
       reason_ringing = Refstring.create ~loc "Ringing";
@@ -422,8 +612,18 @@ let start ~transport config =
       workers = [];
       pool = ref None;
       requests_handled = 0;
+      sheds = 0;
     }
   in
+  resend_ref :=
+    (fun ~txn_key ~attempt:_ ->
+      (* retransmit the un-ACKed 200 (RFC 3261 §13.3.1.4); stop once the
+         ACK cleared the entry *)
+      match Hashtbl.find_opt t.retrans txn_key with
+      | Some (dst, wire) ->
+          ignore (Transport.send t.transport ~src:"server" ~dst wire);
+          true
+      | None -> false);
   (match config.pattern with
   | Per_request -> ()
   | Pool n ->
@@ -436,8 +636,11 @@ let start ~transport config =
   t.listener <- Api.spawn ~loc:(lc "start" 380) ~name:"listener" (listener_body t);
   t
 
-(** Ask the listener to stop (any VM thread may call this). *)
-let post_stop t = Transport.send t.transport ~src:"admin" ~dst:"server" stop_wire
+(** Ask the listener to stop (any VM thread may call this).  Admin
+    traffic bypasses fault injection, so the stop datagram always
+    arrives. *)
+let post_stop t =
+  ignore (Transport.send t.transport ~src:"admin" ~dst:"server" stop_wire)
 
 (** Shut the server down.  With [config.shutdown_racy] the statistics
     block is destroyed {e before} the logger thread is joined — bug B3:
@@ -451,6 +654,8 @@ let shutdown t =
   (match !(t.pool) with Some pool -> Raceguard_vm.Thread_pool.shutdown pool | None -> ());
   Timer_wheel.stop t.timer;
   Timer_wheel.join t.timer;
+  (match t.txn_cache with Some cache -> Txn_cache.destroy cache | None -> ());
+  Hashtbl.reset t.retrans;
   Domain_data.stop t.domain_data;
   Domain_data.join t.domain_data;
   History.clear t.history;
@@ -476,3 +681,7 @@ let shutdown t =
 
 let requests_handled t = t.requests_handled
 let log_lines t = Logger.lines t.logger
+let sheds t = t.sheds
+let cache_hits t = match t.txn_cache with Some c -> Txn_cache.hits c | None -> 0
+let retransmits t = Timer_wheel.resent t.timer
+let bound_aors t = Registrar.bound_aors t.registrar

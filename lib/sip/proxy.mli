@@ -4,7 +4,13 @@
     signalling server: thread-per-request (or thread-pool) concurrency,
     shared state behind mutexes and one rw-lock, copy-on-write strings,
     destructor-heavy object traffic — and the real bugs the paper found
-    (§4.1) injected and individually toggleable. *)
+    (§4.1) injected and individually toggleable.
+
+    With [config.resilience] set, the server also exercises the
+    RFC 3261 recovery paths the chaos matrix stresses: a response cache
+    absorbing retransmissions, timer-driven 200 retransmission with
+    exponential backoff until ACK, request deadlines, and overload
+    shedding with 503 + Retry-After. *)
 
 module Refstring = Raceguard_cxxsim.Refstring
 module Allocator = Raceguard_cxxsim.Allocator
@@ -12,6 +18,17 @@ module Allocator = Raceguard_cxxsim.Allocator
 type pattern =
   | Per_request  (** one worker thread per datagram (§3.3, Figure 10) *)
   | Pool of int  (** fixed worker pool fed by a queue (§4.2.3, Figure 11) *)
+
+type resilience = {
+  res_shed_high_water : int;
+      (** pool-queue depth at which the listener sheds with 503 *)
+  res_retry_after : int;  (** Retry-After value on shed 503s (ticks) *)
+  res_deadline : int;
+      (** requests older than this when dequeued are answered 503
+          instead of processed; 0 disables the check *)
+}
+
+val default_resilience : resilience
 
 type config = {
   annotate : bool;
@@ -28,21 +45,29 @@ type config = {
   require_auth : bool;
       (** challenge REGISTERs with a digest nonce (401 flow) *)
   domains : string list;
+  resilience : resilience option;
+      (** [None] = the legacy server (tier-1 behaviour, unchanged);
+          [Some _] enables the recovery paths *)
+  faults : Raceguard_faults.Injector.t option;
+      (** fault injector consulted by the allocator; share the instance
+          wired into the transport and engine for one coherent plan *)
 }
 
 val default_config : config
 (** Uninstrumented, direct allocator, thread-per-request, watchdog off,
-    bugs B2–B6 present. *)
+    bugs B2–B6 present, no resilience, no faults. *)
 
 type t
 
 val start : transport:Transport.t -> config -> t
 (** Boot the server (call from inside the VM): statistics, logger,
     registrar, dialog tables, domain data (+ reload thread), routing,
-    request history, timer wheel, optional watchdog, listener. *)
+    request history, timer wheel, optional watchdog, listener — plus
+    the response cache and resend timer when resilient. *)
 
 val post_stop : t -> unit
-(** Ask the listener to stop (send the stop datagram). *)
+(** Ask the listener to stop (send the stop datagram; admin traffic
+    bypasses fault injection). *)
 
 val shutdown : t -> unit
 (** Join workers and service threads and tear the server down —
@@ -50,6 +75,19 @@ val shutdown : t -> unit
 
 val requests_handled : t -> int
 val log_lines : t -> string list
+
+val sheds : t -> int
+(** 503s deliberately sent by overload control (high-water + deadline). *)
+
+val cache_hits : t -> int
+(** Retransmissions absorbed by the response cache. *)
+
+val retransmits : t -> int
+(** Timer-driven 200 retransmissions sent while awaiting ACK. *)
+
+val bound_aors : t -> string list
+(** Currently bound AORs (host-side mirror; safe after shutdown) — the
+    chaos runner's lost-registration oracle. *)
 
 (** {1 Exposed for white-box tests} *)
 

@@ -38,6 +38,12 @@ type t = {
   mutex : Api.Mutex.t;
   bindings : Containers.Map.t;  (** hash(aor) -> binding object address *)
   stats : Stats.t;
+  mirror : (int, string * string) Hashtbl.t;
+      (** host-side shadow of the bindings map: hash(aor) -> (aor,
+          contact).  Maintained next to every map update, with no VM
+          reads, so post-run oracles (chaos "no lost registration") can
+          inspect the registrar without perturbing the detectors — the
+          same idiom as {!Stats}'s metric mirrors. *)
 }
 
 let hash_string s =
@@ -50,6 +56,7 @@ let create ~alloc ~stats =
     mutex = Api.Mutex.create ~loc:(lc "Registrar" 50) "registrar.mutex";
     bindings = Containers.Map.create alloc;
     stats;
+    mirror = Hashtbl.create 16;
   }
 
 let new_binding ~loc ~aor ~contact ~cseq ~expires_at =
@@ -77,6 +84,7 @@ let register t ~annotate ~aor ~contact ~cseq ~expires =
         Containers.Map.insert t.bindings key fresh;
         old)
   in
+  Hashtbl.replace t.mirror key (aor, contact);
   match old with
   | Some old_binding when old_binding <> 0 ->
       (* delete outside the lock: the object is private again *)
@@ -101,6 +109,7 @@ let unregister t ~annotate ~aor =
   in
   match victim with
   | Some b ->
+      Hashtbl.remove t.mirror key;
       Stats.decr_registered t.stats;
       Obj_model.delete_ ~loc:(lc "removeBinding" 103) ~annotate contact_binding_class b;
       true
@@ -140,10 +149,11 @@ let expire_stale t ~annotate =
       List.iter
         (fun (key, b) ->
           ignore (Containers.Map.remove t.bindings key);
-          victims := b :: !victims)
+          victims := (key, b) :: !victims)
         !expired);
   List.iter
-    (fun b ->
+    (fun (key, b) ->
+      Hashtbl.remove t.mirror key;
       Stats.decr_registered t.stats;
       Obj_model.delete_ ~loc:(lc "expireStale" 145) ~annotate contact_binding_class b)
     !victims;
@@ -152,3 +162,9 @@ let expire_stale t ~annotate =
 let size t =
   Api.Mutex.with_lock ~loc:(lc "size" 150) t.mutex (fun () ->
       Containers.Map.size t.bindings)
+
+(** Host-side view of the current bindings, sorted by AOR — for
+    post-run oracles only (no VM traffic). *)
+let bound_aors t =
+  Hashtbl.fold (fun _ (aor, _) acc -> aor :: acc) t.mirror []
+  |> List.sort compare

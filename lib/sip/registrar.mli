@@ -39,3 +39,7 @@ val expire_stale : t -> annotate:bool -> int
 (** Delete every expired binding; returns how many. *)
 
 val size : t -> int
+
+val bound_aors : t -> string list
+(** Host-side mirror of the currently bound AORs, sorted — post-run
+    oracle use only (no VM traffic, safe after shutdown). *)

@@ -9,12 +9,24 @@
     On [recv] the payload is copied into a {e freshly allocated} VM
     buffer by the receiving thread — modelling the [read(2)] syscall
     copying into the caller's buffer in the caller's context, which is
-    how Valgrind attributes syscall memory effects. *)
+    how Valgrind attributes syscall memory effects.
+
+    When a fault {!Raceguard_faults.Injector} is attached, each
+    datagram (except those from the ["admin"] control endpoint) may be
+    dropped, duplicated, postponed or corrupted.  Postponed datagrams
+    sit in a host-side holding list and are flushed into their inbox by
+    subsequent transport activity ([send] and {!recv_deadline} polls) —
+    fully deterministic in (seed, plan). *)
 
 module Loc = Raceguard_util.Loc
 module Api = Raceguard_vm.Api
+module Metrics = Raceguard_obs.Metrics
+module Injector = Raceguard_faults.Injector
 
 let lc func line = Loc.v "transport.cpp" func line
+
+let m_unroutable = Metrics.counter "sip.transport.dropped_unroutable"
+let m_fault_dropped = Metrics.counter "sip.transport.dropped_fault"
 
 type endpoint = {
   name : string;
@@ -23,9 +35,22 @@ type endpoint = {
   mutable dropped : int;
 }
 
-type t = { endpoints : (string, endpoint) Hashtbl.t }
+type delivery =
+  | Delivered
+  | Dropped_unroutable
+  | Dropped_fault
+  | Delayed_fault
 
-let create () = { endpoints = Hashtbl.create 8 }
+type t = {
+  endpoints : (string, endpoint) Hashtbl.t;
+  faults : Injector.t option;
+  mutable held : (int * int * endpoint * string * string) list;
+      (** (due, seq, dst, src, wire): postponed datagrams, kept sorted
+          by (due, seq) so flush order is deterministic *)
+  mutable held_seq : int;
+}
+
+let create ?faults () = { endpoints = Hashtbl.create 8; faults; held = []; held_seq = 0 }
 
 (** Must be called from inside the VM (it creates a semaphore). *)
 let endpoint t name =
@@ -43,13 +68,64 @@ let endpoint t name =
       Hashtbl.replace t.endpoints name ep;
       ep
 
+let deliver ep ~src wire =
+  Queue.push (src, wire) ep.inbox;
+  Api.Sem.post ~loc:(lc "sendto" 24) ep.ready
+
+(** Flush every postponed datagram whose due time has passed.  Called
+    from [send] and from [recv_deadline] poll iterations, both inside
+    the VM. *)
+let flush_held t =
+  match t.held with
+  | [] -> ()
+  | held ->
+      let now = Api.now () in
+      let due, still = List.partition (fun (d, _, _, _, _) -> d <= now) held in
+      if due <> [] then begin
+        t.held <- still;
+        List.iter (fun (_, _, ep, src, wire) -> deliver ep ~src wire) due
+      end
+
+let hold t ~due ep ~src wire =
+  let entry = (due, t.held_seq, ep, src, wire) in
+  t.held_seq <- t.held_seq + 1;
+  t.held <- List.merge compare t.held [ entry ]
+
 (** Send [wire] from [src] to the endpoint named [dst]. *)
 let send t ~src ~dst wire =
+  flush_held t;
   match Hashtbl.find_opt t.endpoints dst with
-  | None -> ( (* unknown destination: datagram silently dropped *) )
-  | Some ep ->
-      Queue.push (src, wire) ep.inbox;
-      Api.Sem.post ~loc:(lc "sendto" 24) ep.ready
+  | None ->
+      (* unknown destination: the datagram is unroutable — count it and
+         tell the caller instead of losing mail silently *)
+      Metrics.incr m_unroutable;
+      Dropped_unroutable
+  | Some ep -> (
+      match t.faults with
+      | Some inj when src <> "admin" -> (
+          (* the admin control plane (clean-shutdown stop message) is
+             exempt so every run can still terminate *)
+          match Injector.datagram inj with
+          | Injector.Deliver ->
+              deliver ep ~src wire;
+              Delivered
+          | Injector.Drop ->
+              ep.dropped <- ep.dropped + 1;
+              Metrics.incr m_fault_dropped;
+              Dropped_fault
+          | Injector.Duplicate ->
+              deliver ep ~src wire;
+              deliver ep ~src wire;
+              Delivered
+          | Injector.Delay_by d ->
+              hold t ~due:(Api.now () + d) ep ~src wire;
+              Delayed_fault
+          | Injector.Corrupt_with key ->
+              deliver ep ~src (Injector.corrupt_wire ~key wire);
+              Delivered)
+      | _ ->
+          deliver ep ~src wire;
+          Delivered)
 
 (** Blocking receive: returns the source endpoint name, the address of
     a fresh VM buffer holding the payload (one char per word), and its
@@ -61,6 +137,23 @@ let recv _t ep =
   let buf = Api.alloc ~loc:(lc "recvfrom" 34) (max 1 len) in
   String.iteri (fun i c -> Api.write ~loc:(lc "recvfrom" 35) (buf + i) (Char.code c)) wire;
   (src, buf, len)
+
+let recv_poll_quantum = 5
+
+(** Receive with a deadline: polls so that postponed datagrams keep
+    flowing even while every other thread sleeps.  Sound because each
+    endpoint has a single reader (checking [Queue.length] host-side
+    then doing a non-blocking [Sem.wait] cannot race with another
+    consumer).  Returns [None] once [Api.now () >= deadline] with
+    nothing delivered. *)
+let rec recv_deadline t ep ~deadline =
+  flush_held t;
+  if Queue.length ep.inbox > 0 then Some (recv t ep)
+  else if Api.now () >= deadline then None
+  else begin
+    Api.sleep recv_poll_quantum;
+    recv_deadline t ep ~deadline
+  end
 
 (** Read a received buffer back into a host string (VM reads). *)
 let read_buffer buf len =
@@ -74,3 +167,5 @@ let drain_host ep =
   List.rev !out
 
 let pending ep = Queue.length ep.inbox
+
+let held_count t = List.length t.held

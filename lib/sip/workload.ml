@@ -22,12 +22,27 @@ type driver = {
   endpoint : Transport.endpoint;
   mutable failures : string list;  (** oracle violations (host side) *)
   mutable responses : int;
+  mutable chaos_regs : (string * bool) list;
+      (** chaos mode: (aor, should-be-bound) in chronological order,
+          appended on each acknowledged REGISTER/unREGISTER *)
+  mutable shed_seen : int;  (** chaos mode: 503s received and retried *)
+  mutable unanswered : int;
+      (** chaos mode: transactions abandoned after every retry timed out *)
 }
 
 let make_driver ~transport name =
-  { d_name = name; transport; endpoint = Transport.endpoint transport name; failures = []; responses = 0 }
+  {
+    d_name = name;
+    transport;
+    endpoint = Transport.endpoint transport name;
+    failures = [];
+    responses = 0;
+    chaos_regs = [];
+    shed_seen = 0;
+    unanswered = 0;
+  }
 
-let send d wire = Transport.send d.transport ~src:d.d_name ~dst:"server" wire
+let send d wire = ignore (Transport.send d.transport ~src:d.d_name ~dst:"server" wire)
 
 (** Wait for one response and check its status code. *)
 let expect d ?(among = []) status =
@@ -415,4 +430,408 @@ let run_test_case ~transport ~(server_config : Proxy.config) tc () =
     r_failures = List.concat_map (fun (d, _) -> List.rev d.failures) drivers;
     r_responses = List.fold_left (fun acc (d, _) -> acc + d.responses) 0 drivers;
     r_requests_handled = Proxy.requests_handled server;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Chaos workload: fault-tolerant UAC drivers                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Under injected datagram faults a blocking [expect] would wedge on
+    the first dropped response, so the chaos drivers speak a small
+    RFC 3261 UAC core instead: every request is retransmitted with
+    bounded backoff until a {e matching} final response (Call-ID +
+    CSeq) arrives; 503s are honoured and retried; duplicate and stale
+    responses are discarded.  Whether the {e server} is resilient is an
+    independent toggle — that asymmetry is exactly what the chaos
+    oracles measure. *)
+
+type chaos_opts = {
+  co_max_attempts : int;  (** per transaction, before declaring it unanswered *)
+  co_attempt_timeout : int;  (** base wait (ticks) before retransmitting *)
+  co_seed : int;  (** perturbs the per-transaction backoff jitter *)
+}
+
+let default_chaos_opts = { co_max_attempts = 8; co_attempt_timeout = 90; co_seed = 1 }
+
+(** Does [wire] carry a final/provisional status for transaction
+    (call_id, cseq)?  [None] = not ours (stale, duplicate, garbage). *)
+let resp_matches ~call_id ~cseq wire =
+  match Sip_msg.wire_status wire with
+  | None -> None
+  | Some s ->
+      let cid_ok =
+        match Sip_msg.wire_header wire "Call-ID" with Some c -> c = call_id | None -> false
+      in
+      let cseq_ok =
+        match Sip_msg.wire_header wire "CSeq" with
+        | Some v -> (
+            match String.split_on_char ' ' (String.trim v) with
+            | tok :: _ -> ( match int_of_string_opt tok with Some n -> n = cseq | None -> false)
+            | [] -> false)
+        | None -> false
+      in
+      if cid_ok && cseq_ok then Some s else None
+
+(** Drive one transaction to a final response: send, wait with a
+    deadline, retransmit on timeout with capped backoff, retry on 503.
+    Returns the final status, or [None] after [co_max_attempts]. *)
+let chaos_transact opts d ~wire ~call_id ~cseq =
+  let bo = Backoff.default in
+  let jitter_seed = opts.co_seed lxor Registrar.hash_string call_id in
+  let saw_shed = ref false in
+  let rec attempt n =
+    if n >= opts.co_max_attempts then begin
+      (* a transaction whose attempts all ended in 503 was deliberately
+         shed, not lost — only silence counts as unanswered *)
+      if not !saw_shed then d.unanswered <- d.unanswered + 1;
+      None
+    end
+    else begin
+      send d wire;
+      let deadline =
+        Api.now () + opts.co_attempt_timeout + Backoff.delay bo ~seed:jitter_seed ~attempt:n
+      in
+      let rec wait () =
+        match Transport.recv_deadline d.transport d.endpoint ~deadline with
+        | None -> attempt (n + 1) (* timed out: retransmit *)
+        | Some (_src, buf, len) ->
+            let rwire = Transport.read_buffer buf len in
+            Api.free ~loc:(lc "chaos_transact" 470) buf;
+            d.responses <- d.responses + 1;
+            (match resp_matches ~call_id ~cseq rwire with
+            | Some 503 ->
+                (* deliberate shedding: back off and try again *)
+                saw_shed := true;
+                d.shed_seen <- d.shed_seen + 1;
+                Api.sleep (20 + (10 * n));
+                attempt (n + 1)
+            | Some s when s >= 200 -> Some s
+            | Some _ (* provisional *) | None (* not ours *) -> wait ())
+      in
+      wait ()
+    end
+  in
+  attempt 0
+
+let chaos_wrong d ~what ~call_id status =
+  d.failures <-
+    Printf.sprintf "%s: %s %s got unexpected final %d" d.d_name what call_id status
+    :: d.failures
+
+(** Register (or with [expires = 0] unregister) until acknowledged;
+    records the acknowledged binding expectation for the post-run
+    oracle.  Returns whether the 200 arrived. *)
+let chaos_register opts d ~user ~domain ~cseq ?(expires = 100_000) () =
+  let a = aor user domain in
+  let call_id = Printf.sprintf "creg-%s-%d" user cseq in
+  let wire =
+    request ~meth:Sip_msg.REGISTER ~uri:("sip:" ^ domain) ~from:a ~to_:a ~call_id ~cseq
+      ~contact:(Printf.sprintf "sip:%s@10.0.2.%d:5060" user (1 + (cseq mod 250)))
+      ~expires ()
+  in
+  match chaos_transact opts d ~wire ~call_id ~cseq with
+  | Some 200 ->
+      (* the registrar keys bindings as user@domain, without the scheme *)
+      d.chaos_regs <- (user ^ "@" ^ domain, expires > 0) :: d.chaos_regs;
+      true
+  | Some s ->
+      chaos_wrong d ~what:"REGISTER" ~call_id s;
+      false
+  | None -> false
+
+let chaos_unregister opts d ~user ~domain ~cseq =
+  ignore (chaos_register opts d ~user ~domain ~cseq ~expires:0 ())
+
+let chaos_options opts d ~domain ~cseq =
+  let call_id = Printf.sprintf "copt-%s-%d" d.d_name cseq in
+  let wire =
+    request ~meth:Sip_msg.OPTIONS ~uri:("sip:" ^ domain) ~from:(aor "ping" domain)
+      ~to_:(aor "server" domain) ~call_id ~cseq ()
+  in
+  match chaos_transact opts d ~wire ~call_id ~cseq with
+  | Some 200 | None -> ()
+  | Some s -> chaos_wrong d ~what:"OPTIONS" ~call_id s
+
+(** One complete call under faults: INVITE until final, ACK, talk,
+    BYE until final. *)
+let chaos_call opts d ~caller ~callee ~domain ~call_id ~cseq ?(talk = 6) () =
+  let from = aor caller domain and to_ = aor callee domain in
+  let uri = to_ in
+  let invite = request ~meth:Sip_msg.INVITE ~uri ~from ~to_ ~call_id ~cseq () in
+  match chaos_transact opts d ~wire:invite ~call_id ~cseq with
+  | Some 200 -> (
+      send d (request ~meth:Sip_msg.ACK ~uri ~from ~to_ ~call_id ~cseq ());
+      Api.sleep talk;
+      let bye = request ~meth:Sip_msg.BYE ~uri ~from ~to_ ~call_id ~cseq:(cseq + 1) () in
+      match chaos_transact opts d ~wire:bye ~call_id ~cseq:(cseq + 1) with
+      (* 481 is acceptable: it can only reach us when another copy of
+         this same BYE already tore the dialog down (its 200 was lost
+         or overtaken), and RFC 3261 §15.1.2 has the UAC treat it as
+         terminated either way *)
+      | Some 200 | Some 481 | None -> ()
+      | Some s -> chaos_wrong d ~what:"BYE" ~call_id s)
+  | Some s -> chaos_wrong d ~what:"INVITE" ~call_id s
+  | None -> ()
+
+(** INVITE to an unregistered callee: 404 is the correct final. *)
+let chaos_failed_call opts d ~caller ~callee ~domain ~call_id ~cseq =
+  let from = aor caller domain and to_ = aor callee domain in
+  let wire = request ~meth:Sip_msg.INVITE ~uri:to_ ~from ~to_ ~call_id ~cseq () in
+  match chaos_transact opts d ~wire ~call_id ~cseq with
+  | Some 404 | None -> ()
+  | Some s -> chaos_wrong d ~what:"INVITE(404)" ~call_id s
+
+(** INVITE, CANCEL (same CSeq, distinct transaction), BYE. *)
+let chaos_cancelled_call opts d ~caller ~callee ~domain ~call_id ~cseq =
+  let from = aor caller domain and to_ = aor callee domain in
+  let uri = to_ in
+  let invite = request ~meth:Sip_msg.INVITE ~uri ~from ~to_ ~call_id ~cseq () in
+  match chaos_transact opts d ~wire:invite ~call_id ~cseq with
+  | Some 200 -> (
+      let cancel = request ~meth:Sip_msg.CANCEL ~uri ~from ~to_ ~call_id ~cseq () in
+      (match chaos_transact opts d ~wire:cancel ~call_id ~cseq with
+      | Some 200 | Some 481 | None -> ()
+      | Some s -> chaos_wrong d ~what:"CANCEL" ~call_id s);
+      let bye = request ~meth:Sip_msg.BYE ~uri ~from ~to_ ~call_id ~cseq:(cseq + 1) () in
+      match chaos_transact opts d ~wire:bye ~call_id ~cseq:(cseq + 1) with
+      | Some 200 | Some 481 | None -> ()
+      | Some s -> chaos_wrong d ~what:"BYE" ~call_id s)
+  | Some s -> chaos_wrong d ~what:"INVITE" ~call_id s
+  | None -> ()
+
+(** Garbage datagram: the server answers 400 without echoing Call-ID,
+    so accept any 400 (or give up quietly — the 400 itself may be
+    dropped by a fault). *)
+let chaos_malformed opts d ~cseq =
+  let rec attempt n =
+    if n < opts.co_max_attempts then begin
+      send d (Printf.sprintf "GARBAGE nonsense/%d\r\n\r\n" cseq);
+      let deadline = Api.now () + opts.co_attempt_timeout in
+      let rec wait () =
+        match Transport.recv_deadline d.transport d.endpoint ~deadline with
+        | None -> attempt (n + 1)
+        | Some (_src, buf, len) ->
+            let rwire = Transport.read_buffer buf len in
+            Api.free ~loc:(lc "chaos_malformed" 530) buf;
+            d.responses <- d.responses + 1;
+            if Sip_msg.wire_status rwire = Some 400 then () else wait ()
+      in
+      wait ()
+    end
+  in
+  attempt 0
+
+(* --- the chaos matrix test cases (T1–T8 shapes, hardened drivers) --- *)
+
+let chaos_test_cases opts =
+  let reg = chaos_register opts
+  and unreg = chaos_unregister opts
+  and opt = chaos_options opts
+  and call = chaos_call opts
+  and failed = chaos_failed_call opts
+  and cancelled = chaos_cancelled_call opts
+  and malformed = chaos_malformed opts in
+  [
+    {
+      tc_name = "T1";
+      tc_description = "chaos: REGISTER burst + OPTIONS pings";
+      tc_drivers =
+        [
+          ( "cuac1",
+            fun d ->
+              for i = 0 to 3 do
+                ignore (reg d ~user:(Printf.sprintf "calice%d" i) ~domain:"example.com" ~cseq:(i + 1) ())
+              done;
+              ignore (reg d ~user:"calice0" ~domain:"example.com" ~cseq:20 ()) );
+          ( "cuac2",
+            fun d ->
+              for i = 0 to 3 do
+                ignore (reg d ~user:(Printf.sprintf "cbob%d" i) ~domain:"voip.example.net" ~cseq:(i + 1) ())
+              done );
+          ("cuac3", fun d -> for i = 0 to 2 do opt d ~domain:"example.com" ~cseq:(i + 1) done);
+        ];
+    };
+    {
+      tc_name = "T2";
+      tc_description = "chaos: basic INVITE/ACK/BYE calls";
+      tc_drivers =
+        [
+          ( "cuac1",
+            fun d ->
+              ignore (reg d ~user:"cal" ~domain:"example.com" ~cseq:1 ());
+              if reg d ~user:"cbo" ~domain:"example.com" ~cseq:2 () then
+                for i = 0 to 2 do
+                  call d ~caller:"cal" ~callee:"cbo" ~domain:"example.com"
+                    ~call_id:(Printf.sprintf "ccall-t2-%d" i) ~cseq:(10 + (2 * i)) ()
+                done );
+        ];
+    };
+    {
+      tc_name = "T3";
+      tc_description = "chaos: OPTIONS keep-alives only";
+      tc_drivers =
+        [
+          ("cuac1", fun d -> for i = 0 to 3 do opt d ~domain:"example.com" ~cseq:(i + 1) done);
+          ("cuac2", fun d -> for i = 0 to 2 do opt d ~domain:"pbx.local" ~cseq:(i + 1) done);
+        ];
+    };
+    {
+      tc_name = "T4";
+      tc_description = "chaos: mixed REGISTER + calls, three agents";
+      tc_drivers =
+        [
+          ( "cuac1",
+            fun d ->
+              for i = 0 to 2 do
+                ignore (reg d ~user:(Printf.sprintf "cuser%d" i) ~domain:"example.com" ~cseq:(i + 1) ())
+              done );
+          ( "cuac2",
+            fun d ->
+              if reg d ~user:"ccarol" ~domain:"example.com" ~cseq:1 () then
+                for i = 0 to 1 do
+                  call d ~caller:"cdave" ~callee:"ccarol" ~domain:"example.com"
+                    ~call_id:(Printf.sprintf "ccall-t4a-%d" i) ~cseq:(10 + (2 * i)) ~talk:4 ()
+                done );
+          ( "cuac3",
+            fun d ->
+              if reg d ~user:"cerin" ~domain:"voip.example.net" ~cseq:1 () then
+                for i = 0 to 1 do
+                  call d ~caller:"cfrank" ~callee:"cerin" ~domain:"voip.example.net"
+                    ~call_id:(Printf.sprintf "ccall-t4b-%d" i) ~cseq:(30 + (2 * i)) ~talk:3 ()
+                done );
+        ];
+    };
+    {
+      tc_name = "T5";
+      tc_description = "chaos: concurrent calls + re-registrations";
+      tc_drivers =
+        [
+          ( "cuac1",
+            fun d ->
+              if reg d ~user:"cvic1" ~domain:"example.com" ~cseq:1 () then
+                for i = 0 to 2 do
+                  call d ~caller:"cx" ~callee:"cvic1" ~domain:"example.com"
+                    ~call_id:(Printf.sprintf "ct5a-%d" i) ~cseq:(10 + (2 * i)) ~talk:5 ()
+                done );
+          ( "cuac2",
+            fun d ->
+              if reg d ~user:"cvic2" ~domain:"example.com" ~cseq:1 () then
+                for i = 0 to 2 do
+                  call d ~caller:"cy" ~callee:"cvic2" ~domain:"example.com"
+                    ~call_id:(Printf.sprintf "ct5b-%d" i) ~cseq:(50 + (2 * i)) ~talk:5 ()
+                done );
+          ( "cuac3",
+            fun d ->
+              for i = 0 to 3 do
+                ignore (reg d ~user:"cvic1" ~domain:"example.com" ~cseq:(100 + i) ());
+                Api.sleep 5
+              done );
+          ( "cuac4",
+            fun d ->
+              for i = 0 to 2 do
+                opt d ~domain:"example.com" ~cseq:(i + 1);
+                Api.sleep 4
+              done );
+        ];
+    };
+    {
+      tc_name = "T6";
+      tc_description = "chaos: registrar churn";
+      tc_drivers =
+        [
+          ( "cuac1",
+            fun d ->
+              for i = 0 to 2 do
+                let user = Printf.sprintf "cchurn%d" (i mod 2) in
+                ignore (reg d ~user ~domain:"example.com" ~cseq:(10 * (i + 1)) ());
+                unreg d ~user ~domain:"example.com" ~cseq:((10 * (i + 1)) + 1)
+              done );
+          ( "cuac2",
+            fun d ->
+              if reg d ~user:"cstable" ~domain:"example.com" ~cseq:1 () then
+                for i = 0 to 1 do
+                  call d ~caller:"cz" ~callee:"cstable" ~domain:"example.com"
+                    ~call_id:(Printf.sprintf "ct6-%d" i) ~cseq:(200 + (2 * i)) ~talk:4 ()
+                done );
+        ];
+    };
+    {
+      tc_name = "T7";
+      tc_description = "chaos: error flows (malformed, 404s)";
+      tc_drivers =
+        [
+          ( "cuac1",
+            fun d ->
+              for i = 0 to 1 do
+                malformed d ~cseq:i
+              done;
+              for i = 0 to 1 do
+                failed d ~caller:"cghost" ~callee:(Printf.sprintf "cnobody%d" i)
+                  ~domain:"example.com" ~call_id:(Printf.sprintf "ct7-%d" i) ~cseq:(10 + i)
+              done );
+          ( "cuac2",
+            fun d -> ignore (reg d ~user:"clate" ~domain:"example.com" ~cseq:99 ()) );
+        ];
+    };
+    {
+      tc_name = "T8";
+      tc_description = "chaos: INVITE/CANCEL teardown flows";
+      tc_drivers =
+        [
+          ( "cuac1",
+            fun d ->
+              if reg d ~user:"cvictim" ~domain:"example.com" ~cseq:1 () then
+                for i = 0 to 1 do
+                  cancelled d ~caller:"cw" ~callee:"cvictim" ~domain:"example.com"
+                    ~call_id:(Printf.sprintf "ct8-%d" i) ~cseq:(10 + (2 * i))
+                done );
+          ("cuac2", fun d -> for i = 0 to 1 do opt d ~domain:"example.com" ~cseq:(i + 1) done);
+        ];
+    };
+  ]
+
+type chaos_run_result = {
+  cr_base : run_result;
+  cr_acked_regs : (string * bool) list;
+      (** chronological (aor, should-be-bound) across all drivers *)
+  cr_shed_seen : int;  (** 503s received by drivers *)
+  cr_unanswered : int;  (** transactions with no final after all retries *)
+  cr_bound : string list;  (** server-side bound AORs after shutdown *)
+  cr_sheds : int;  (** server-side deliberate 503 count *)
+  cr_cache_hits : int;  (** retransmissions absorbed by the cache *)
+  cr_retransmits : int;  (** timer-driven 200 retransmissions *)
+}
+
+(** Chaos variant of {!run_test_case}: same lifecycle, hardened drivers,
+    richer post-run evidence for the invariant oracles. *)
+let run_chaos_test_case ~transport ~(server_config : Proxy.config) tc () =
+  let server = Proxy.start ~transport server_config in
+  let drivers =
+    List.map
+      (fun (name, script) ->
+        let d = make_driver ~transport name in
+        let tid =
+          Api.spawn ~loc:(lc "chaos_main" 700) ~name (fun () ->
+              Api.with_frame (lc name 701) (fun () -> script d))
+        in
+        (d, tid))
+      tc.tc_drivers
+  in
+  List.iter (fun (_, tid) -> Api.join ~loc:(lc "chaos_main" 706) tid) drivers;
+  Proxy.post_stop server;
+  Proxy.shutdown server;
+  {
+    cr_base =
+      {
+        r_failures = List.concat_map (fun (d, _) -> List.rev d.failures) drivers;
+        r_responses = List.fold_left (fun acc (d, _) -> acc + d.responses) 0 drivers;
+        r_requests_handled = Proxy.requests_handled server;
+      };
+    cr_acked_regs = List.concat_map (fun (d, _) -> List.rev d.chaos_regs) drivers;
+    cr_shed_seen = List.fold_left (fun acc (d, _) -> acc + d.shed_seen) 0 drivers;
+    cr_unanswered = List.fold_left (fun acc (d, _) -> acc + d.unanswered) 0 drivers;
+    cr_bound = Proxy.bound_aors server;
+    cr_sheds = Proxy.sheds server;
+    cr_cache_hits = Proxy.cache_hits server;
+    cr_retransmits = Proxy.retransmits server;
   }

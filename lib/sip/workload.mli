@@ -115,3 +115,45 @@ val run_test_case :
   transport:Transport.t -> server_config:Proxy.config -> test_case -> unit -> run_result
 (** Body to execute as the VM main thread: start the server, run every
     driver in its own thread, join them, stop and shut down. *)
+
+(** {1 Chaos workload}
+
+    Fault-tolerant drivers for runs with datagram faults injected: every
+    request is retransmitted with bounded backoff until a matching final
+    response arrives, 503s are honoured and retried, duplicates are
+    discarded.  The server's resilience is a separate toggle — the
+    asymmetry the chaos matrix measures. *)
+
+type chaos_opts = {
+  co_max_attempts : int;  (** per transaction, before declaring it unanswered *)
+  co_attempt_timeout : int;  (** base wait (ticks) before retransmitting *)
+  co_seed : int;  (** perturbs the per-transaction backoff jitter *)
+}
+
+val default_chaos_opts : chaos_opts
+
+val chaos_test_cases : chaos_opts -> test_case list
+(** The T1–T8 shapes with hardened drivers and driver-disjoint users
+    (reduced iteration counts — each matrix cell is one full run). *)
+
+type chaos_run_result = {
+  cr_base : run_result;
+  cr_acked_regs : (string * bool) list;
+      (** chronological (aor, should-be-bound): every REGISTER /
+          unREGISTER the server acknowledged with a 200 *)
+  cr_shed_seen : int;  (** 503s received by drivers *)
+  cr_unanswered : int;  (** transactions with no final after all retries *)
+  cr_bound : string list;  (** server-side bound AORs after shutdown *)
+  cr_sheds : int;  (** server-side deliberate 503 count *)
+  cr_cache_hits : int;  (** retransmissions absorbed by the cache *)
+  cr_retransmits : int;  (** timer-driven 200 retransmissions *)
+}
+
+val run_chaos_test_case :
+  transport:Transport.t ->
+  server_config:Proxy.config ->
+  test_case ->
+  unit ->
+  chaos_run_result
+(** Chaos variant of {!run_test_case}: same lifecycle, hardened
+    drivers, richer post-run evidence for the invariant oracles. *)

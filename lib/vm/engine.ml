@@ -20,6 +20,7 @@ module Rng = Raceguard_util.Rng
 module Growvec = Raceguard_util.Growvec
 module Metrics = Raceguard_obs.Metrics
 module Trace = Raceguard_obs.Trace
+module Injector = Raceguard_faults.Injector
 open Eff
 
 (* Process-global instruments; per-run deltas come from snapshot/diff. *)
@@ -63,6 +64,11 @@ type config = {
       (** when set, every emitted event is offered to this sampling
           ring tracer (Chrome trace_event export); [None] costs one
           comparison per event *)
+  faults : Injector.t option;
+      (** fault-injection decision engine: delayed thread starts and
+          slow mutex acquisitions are drawn from its dedicated streams
+          (never from the scheduler's rng); [None] costs one comparison
+          per spawn / free-mutex lock *)
 }
 
 let default_config =
@@ -73,6 +79,7 @@ let default_config =
     trace_events = false;
     max_ops = 50_000_000;
     tracer = None;
+    faults = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -205,6 +212,10 @@ type t = {
   mutable cached_ctx : Tool.ctx option;
       (** the tool ctx is pure closures over [t]; built once so [emit]
           does not allocate per event *)
+  mutable delayed_fresh : (int * int) list;
+      (** (tid, wake_at): spawned threads whose first run a spawn-delay
+          fault postponed; they stay [Fresh] and enter the ready queue
+          when the clock reaches [wake_at] *)
 }
 
 let dummy_thread =
@@ -245,6 +256,7 @@ let create ?(config = default_config) () =
     benign_ranges = [];
     decisions = [];
     cached_ctx = None;
+    delayed_fresh = [];
   }
 
 let add_tool t tool = t.tools <- t.tools @ [ tool ]
@@ -533,7 +545,11 @@ let rec handle_op : type a. t -> thread -> a op -> (a, unit) Effect.Deep.continu
       ignore (Growvec.push t.threads child);
       emit t (Event.E_thread_start { tid = child.tid; name; parent = Some th.tid });
       emit t (Event.E_spawn { parent = th.tid; child = child.tid; loc });
-      enqueue_ready t child.tid;
+      let spawn_delay =
+        match t.config.faults with Some inj -> Injector.spawn_delay inj | None -> 0
+      in
+      if spawn_delay = 0 then enqueue_ready t child.tid
+      else t.delayed_fresh <- (child.tid, t.clock + spawn_delay) :: t.delayed_fresh;
       ret child.tid
   | Join { tid; loc } ->
       if tid < 0 || tid >= Growvec.length t.threads then
@@ -559,7 +575,17 @@ let rec handle_op : type a. t -> thread -> a op -> (a, unit) Effect.Deep.continu
       | None ->
           mu.m_owner <- Some th.tid;
           emit t (Event.E_acquire { tid = th.tid; lock = Event.Mutex m; mode = Write_mode; loc });
-          ret ()
+          let lock_delay =
+            match t.config.faults with Some inj -> Injector.lock_delay inj | None -> 0
+          in
+          if lock_delay = 0 then ret ()
+          else begin
+            (* slow-acquire fault: the lock is held from this moment
+               (contention builds behind it) but the owner stalls
+               before proceeding *)
+            resume_value th () k;
+            th.status <- Blocked (On_sleep (t.clock + lock_delay))
+          end
       | Some owner when owner = th.tid ->
           raise (Misuse (Fmt.str "thread %d relocks non-recursive mutex %S" th.tid mu.m_name))
       | Some _ ->
@@ -790,6 +816,18 @@ let run_thread t th =
 
 let wake_due_sleepers t =
   let woke = ref false in
+  (match t.delayed_fresh with
+  | [] -> ()
+  | delayed ->
+      let due, still = List.partition (fun (_, until) -> until <= t.clock) delayed in
+      if due <> [] then begin
+        t.delayed_fresh <- still;
+        List.iter
+          (fun (tid, _) ->
+            enqueue_ready t tid;
+            woke := true)
+          (List.sort compare due)
+      end);
   Growvec.iter
     (fun th ->
       match th.status with
@@ -801,13 +839,19 @@ let wake_due_sleepers t =
   !woke
 
 let earliest_sleeper t =
+  let from_delayed =
+    List.fold_left
+      (fun acc (_, until) ->
+        match acc with Some u -> Some (min u until) | None -> Some until)
+      None t.delayed_fresh
+  in
   Growvec.fold
     (fun acc th ->
       match th.status with
       | Blocked (On_sleep until) -> (
           match acc with Some u -> Some (min u until) | None -> Some until)
       | _ -> acc)
-    None t.threads
+    from_delayed t.threads
 
 (** Run [main] as thread 0 until all threads finish, a deadlock is
     detected, or the op budget is exhausted. *)

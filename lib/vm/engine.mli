@@ -32,6 +32,13 @@ type config = {
       (** offer every emitted event to this sampling ring tracer
           (Chrome trace_event export); [None] (the default) costs one
           comparison per event *)
+  faults : Raceguard_faults.Injector.t option;
+      (** fault-injection decision engine for delayed thread starts and
+          slow mutex acquisitions; [None] (the default) costs one
+          comparison per spawn / free-mutex acquisition.  Fault
+          decisions come from the injector's own streams, so the
+          scheduler's rng — and therefore every fault-free run — is
+          untouched *)
 }
 
 val default_config : config

@@ -48,6 +48,10 @@ let submit t task =
   if task = t.stop_sentinel then invalid_arg "Thread_pool.submit: reserved value";
   Msg_queue.put t.queue task
 
+(** Current queue depth (takes the queue mutex) — the overload
+    high-water probe. *)
+let queue_length t = Msg_queue.length t.queue
+
 (** Push one sentinel per worker and join them all. *)
 let shutdown t =
   Array.iter (fun _ -> Msg_queue.put t.queue t.stop_sentinel) t.workers;

@@ -23,6 +23,10 @@ val submit : t -> int -> unit
 (** Submit a task address for processing.  The value [-1] is reserved
     as the shutdown sentinel. *)
 
+val queue_length : t -> int
+(** Current queue depth (takes the queue mutex) — the overload-shedding
+    high-water probe. *)
+
 val shutdown : t -> unit
 (** Push one sentinel per worker and join them all; pending tasks are
     processed first (FIFO). *)

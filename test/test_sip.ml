@@ -78,14 +78,17 @@ let test_transport_delivery () =
     run (fun () ->
         let t = Sip.Transport.create () in
         let server = Sip.Transport.endpoint t "server" in
-        Sip.Transport.send t ~src:"client" ~dst:"server" "hello";
-        Sip.Transport.send t ~src:"client" ~dst:"nowhere" "dropped";
+        let d1 = Sip.Transport.send t ~src:"client" ~dst:"server" "hello" in
+        let d2 = Sip.Transport.send t ~src:"client" ~dst:"nowhere" "dropped" in
         let src, buf, len = Sip.Transport.recv t server in
         let payload = Sip.Transport.read_buffer buf len in
         Api.free ~loc buf;
-        (src, payload))
+        (src, payload, d1 = Sip.Transport.Delivered, d2 = Sip.Transport.Dropped_unroutable))
   in
-  Alcotest.(check (pair string string)) "delivered with source" ("client", "hello") got
+  let src, payload, delivered, unroutable = got in
+  Alcotest.(check (pair string string)) "delivered with source" ("client", "hello") (src, payload);
+  Alcotest.(check bool) "routable send reports delivery" true delivered;
+  Alcotest.(check bool) "unroutable send reports the drop" true unroutable
 
 (* --- registrar --------------------------------------------------------- *)
 

@@ -228,7 +228,7 @@ let test_domain_data_lookups () =
         let alloc = Raceguard_cxxsim.Allocator.create Raceguard_cxxsim.Allocator.Direct in
         let dd =
           Sip.Domain_data.create ~alloc ~annotate:true ~init_racy:false
-            ~domains:[ "x.com"; "y.org" ]
+            ~domains:[ "x.com"; "y.org" ] ()
         in
         let unsafe = Sip.Domain_data.unsafe_lookup dd ~domain:"x.com" in
         let safe = Sip.Domain_data.safe_lookup dd ~domain:"y.org" in
