@@ -14,6 +14,12 @@
      --json               run the throughput suite and write JSON
      --quick              CI smoke subset (fewer workloads, shorter quota)
      --seed N             VM scheduling seed (default 7; echoed into the JSON)
+     --domains N          worker domains for the audit pass and the
+                          sequential leg of the scaling suite
+                          (1 = sequential, 0 = auto); digests are
+                          identical for any value.  The Bechamel timed
+                          pass always runs sequentially — parallel
+                          timing would corrupt the measurements.
      --out FILE           output path (default BENCH_detector.json)
      --compare FILE       compare against a committed baseline JSON;
                           exit 2 on >threshold normalized-throughput regression
@@ -315,28 +321,47 @@ let count_events w ~seed =
 
 let digest_sigs sigs = Digest.to_hex (Digest.string (String.concat "\n" (List.sort compare sigs)))
 
-let run_throughput ~quick ~seed =
+let run_throughput ~quick ~seed ~domains =
   let workloads = workloads ~quick in
   let quota, limit = if quick then (0.15, 60) else (0.5, 200) in
   (* audit pass: one untimed run per subject×workload for event counts,
-     report counts, dedup signatures and a metrics-registry delta *)
+     report counts, dedup signatures and a metrics-registry delta.
+     Each subject×workload pair is one cell on the work-stealing pool:
+     detector state is per-instance and the metrics registry is
+     domain-local, so report counts and digests are identical for any
+     domain count.  (Registry-level gauges such as the lockset intern
+     size reflect whatever else already ran on the executing domain —
+     in sequential mode, all preceding cells — and are informational,
+     not digest material.) *)
+  let events_of =
+    Raceguard_par.Par.map_cells ~domains
+      (fun w -> count_events w ~seed)
+      (Array.of_list workloads)
+  in
+  let audit_cells =
+    Array.of_list (List.concat_map (fun w -> List.map (fun s -> (w, s)) subjects) workloads)
+  in
+  let audited =
+    Raceguard_par.Par.map_cells ~domains
+      (fun (w, s) ->
+        let tools, n_reports, signatures = s.s_make () in
+        let before = Obs.Metrics.snapshot () in
+        let gc0 = Gc.minor_words () in
+        w.w_run ~seed tools;
+        let gc_words = Gc.minor_words () -. gc0 in
+        let m = Obs.Metrics.diff ~before (Obs.Metrics.snapshot ()) in
+        (w.w_name, (s.s_name, (n_reports (), digest_sigs (signatures ()), m, gc_words))))
+      audit_cells
+  in
   let audits =
-    List.map
-      (fun w ->
-        let events = count_events w ~seed in
+    List.mapi
+      (fun i w ->
         let per_subject =
-          List.map
-            (fun s ->
-              let tools, n_reports, signatures = s.s_make () in
-              let before = Obs.Metrics.snapshot () in
-              let gc0 = Gc.minor_words () in
-              w.w_run ~seed tools;
-              let gc_words = Gc.minor_words () -. gc0 in
-              let m = Obs.Metrics.diff ~before (Obs.Metrics.snapshot ()) in
-              (s.s_name, (n_reports (), digest_sigs (signatures ()), m, gc_words)))
-            subjects
+          Array.to_list audited
+          |> List.filter_map (fun (wn, entry) ->
+                 if wn = w.w_name then Some entry else None)
         in
-        (w.w_name, (events, per_subject)))
+        (w.w_name, (events_of.(i), per_subject)))
       workloads
   in
   (* timed pass: bechamel over every subject×workload *)
@@ -652,6 +677,87 @@ let faults_rows ~quick ~seed =
   Printf.printf "chaos-off overhead gate OK: normalized throughput %.3f (>= 0.95)\n%!" ratio;
   rows
 
+(* --- domain-scaling suite ------------------------------------------- *)
+
+(* The quick chaos grid run whole, once per domain count: the
+   work-stealing pool's headline number (cells/sec vs domains) plus the
+   determinism pin that justifies it — the concatenated per-cell
+   digests must be byte-identical on every leg, or we exit 2.  The
+   quick grid bounds the suite's runtime even in full mode; speedup is
+   relative to the 1-domain leg and is only meaningful on runners with
+   enough cores (CI checks it conditionally). *)
+
+type scaling_row = {
+  sc_domains : int;
+  sc_cells : int;
+  sc_seconds : float;
+  sc_cells_per_sec : float;
+  sc_speedup : float;  (** vs the 1-domain leg of the same process *)
+  sc_steals : int;
+  sc_digest : string;  (** MD5 over the per-cell digests, in cell order *)
+}
+
+let scaling_domains = [ 1; 2; 4; 8 ]
+
+let scaling_rows ~seed =
+  let config = { R.Chaos.quick with R.Chaos.seed } in
+  let grid = R.Chaos.grid config in
+  let leg domains =
+    let t0 = Unix.gettimeofday () in
+    let cells, stats =
+      Raceguard_par.Par.map_cells_stats ~domains
+        (fun (plan, tc, resilient) -> R.Chaos.run_cell config ~plan ~resilient tc)
+        grid
+    in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let digest =
+      Digest.to_hex
+        (Digest.string
+           (String.concat "\n"
+              (Array.to_list
+                 (Array.map
+                    (fun (c : R.Chaos.cell) ->
+                      Printf.sprintf "%s|%s|%b|%s|%s" c.R.Chaos.cl_plan c.R.Chaos.cl_test
+                        c.R.Chaos.cl_resilient c.R.Chaos.cl_sig_digest
+                        c.R.Chaos.cl_behavior_digest)
+                    cells))))
+    in
+    {
+      sc_domains = domains;
+      sc_cells = Array.length cells;
+      sc_seconds = seconds;
+      sc_cells_per_sec =
+        (if seconds <= 0. then 0. else float_of_int (Array.length cells) /. seconds);
+      sc_speedup = 1.;  (* filled below *)
+      sc_steals = stats.Raceguard_par.Par.st_steals;
+      sc_digest = digest;
+    }
+  in
+  let legs = List.map leg scaling_domains in
+  let base = List.hd legs in
+  List.iter
+    (fun l ->
+      if l.sc_digest <> base.sc_digest then begin
+        Printf.printf
+          "SCALING DETERMINISM FAILURE: %d-domain digest %s differs from 1-domain %s\n"
+          l.sc_domains l.sc_digest base.sc_digest;
+        exit 2
+      end)
+    legs;
+  let legs =
+    List.map
+      (fun l ->
+        {
+          l with
+          sc_speedup = (if l.sc_seconds <= 0. then 0. else base.sc_seconds /. l.sc_seconds);
+        })
+      legs
+  in
+  Printf.printf "scaling determinism OK: digest %s identical across domains %s\n%!"
+    base.sc_digest
+    (String.concat "/" (List.map string_of_int scaling_domains));
+  legs
+
 (* --- JSON output --------------------------------------------------- *)
 
 let fl x = if Float.is_nan x || Float.is_integer x then Printf.sprintf "%.1f" x else Printf.sprintf "%.6g" x
@@ -671,12 +777,27 @@ let row_json r =
     r.r_fast_hits (fl hit_rate) r.r_interned
     (fl r.r_gc_words_per_event)
 
-let write_json ~out ~quick ~seed rows =
+let scaling_json l =
+  Printf.sprintf
+    "{\"domains\": %d, \"cells\": %d, \"seconds\": %s, \"cells_per_sec\": %s, \"speedup\": \
+     %s, \"steals\": %d, \"digest\": \"%s\"}"
+    l.sc_domains l.sc_cells (fl l.sc_seconds) (fl l.sc_cells_per_sec) (fl l.sc_speedup)
+    l.sc_steals l.sc_digest
+
+let write_json ~out ~quick ~seed ~domains ~scaling rows =
   let oc = open_out out in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"raceguard-bench/1\",\n";
+  Printf.fprintf oc "  \"schema\": \"raceguard-bench/2\",\n";
   Printf.fprintf oc "  \"seed\": %d,\n" seed;
   Printf.fprintf oc "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"domains\": %d,\n" domains;
+  Printf.fprintf oc "  \"scaling\": [\n";
+  let nsc = List.length scaling in
+  List.iteri
+    (fun i l ->
+      Printf.fprintf oc "    %s%s\n" (scaling_json l) (if i = nsc - 1 then "" else ","))
+    scaling;
+  Printf.fprintf oc "  ],\n";
   Printf.fprintf oc "  \"configs\": {\n";
   let configs =
     List.map (fun s -> (s.s_name, s.s_config)) subjects @ hints_configs @ faults_configs
@@ -797,6 +918,7 @@ let () =
   let json_mode = ref false
   and quick = ref false
   and seed_ref = ref seed
+  and domains = ref 1
   and out = ref "BENCH_detector.json"
   and baseline = ref None
   and threshold = ref 25.
@@ -811,6 +933,9 @@ let () =
         parse rest
     | "--seed" :: n :: rest ->
         seed_ref := int_of_string n;
+        parse rest
+    | "--domains" :: n :: rest ->
+        domains := int_of_string n;
         parse rest
     | "--out" :: f :: rest ->
         out := f;
@@ -828,14 +953,23 @@ let () =
   in
   parse args;
   if !json_mode then begin
-    Printf.printf "throughput suite: mode=%s seed=%d\n%!"
+    let domains = Raceguard_par.Par.resolve !domains in
+    Printf.printf "throughput suite: mode=%s seed=%d domains=%d\n%!"
       (if !quick then "quick" else "full")
-      !seed_ref;
-    let rows = run_throughput ~quick:!quick ~seed:!seed_ref in
+      !seed_ref domains;
+    let rows = run_throughput ~quick:!quick ~seed:!seed_ref ~domains in
     let rows = rows @ hints_rows ~quick:!quick ~seed:!seed_ref in
     let rows = rows @ faults_rows ~quick:!quick ~seed:!seed_ref in
-    write_json ~out:!out ~quick:!quick ~seed:!seed_ref rows;
+    let scaling = scaling_rows ~seed:!seed_ref in
+    write_json ~out:!out ~quick:!quick ~seed:!seed_ref ~domains ~scaling rows;
     print_summary rows;
+    Printf.printf "%-10s %8s %10s %14s %8s %8s\n" "scaling" "domains" "cells"
+      "cells/sec" "speedup" "steals";
+    List.iter
+      (fun l ->
+        Printf.printf "%-10s %8d %10d %14.2f %8.2f %8d\n" "" l.sc_domains l.sc_cells
+          l.sc_cells_per_sec l.sc_speedup l.sc_steals)
+      scaling;
     Printf.printf "wrote %s\n" !out;
     match !baseline with
     | Some b -> if not (compare_baseline ~threshold_pct:!threshold ~baseline:b rows) then exit 2

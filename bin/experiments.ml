@@ -74,7 +74,16 @@ let explain_cmd =
       & opt (some string) None
       & info [ "metrics" ] ~docv:"FILE" ~doc:"write the run's metrics snapshot JSON to $(docv)")
   in
-  let run test json seed trace sample metrics =
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "worker domains: run each detector configuration as its own cell on the \
+             work-stealing pool (1 = sequential, 0 = auto); warnings and attribution are \
+             identical for any value")
+  in
+  let run test json seed trace sample metrics domains =
     match Raceguard.Explain.test_case_of_string test with
     | None -> `Error (false, Printf.sprintf "unknown test case %S (expected T1..T8)" test)
     | Some tc ->
@@ -85,7 +94,7 @@ let explain_cmd =
           | Some _ -> Some (Obs.Trace.create ~capacity:65536 ~sample ())
         in
         let runner = { Raceguard.Runner.default with seed; tracer } in
-        let x = Raceguard.Explain.run ~runner tc in
+        let x = Raceguard.Explain.run ~runner ~domains tc in
         if json then print_endline (Obs.Json.to_string ~indent:2 (Raceguard.Explain.to_json x))
         else Fmt.pr "%a@." Raceguard.Explain.pp x;
         (match (trace, tracer) with
@@ -110,7 +119,9 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain" ~doc)
     Term.(
-      ret (const run $ test_arg $ json_arg $ seed_arg $ trace_arg $ sample_arg $ metrics_arg))
+      ret
+        (const run $ test_arg $ json_arg $ seed_arg $ trace_arg $ sample_arg $ metrics_arg
+       $ domains_arg))
 
 let chaos_cmd =
   let doc =
@@ -150,9 +161,17 @@ let chaos_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"write the report (JSON or text) to $(docv)")
   in
-  let run json quick seed plan test no_fast_path out =
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "worker domains for the cell grid (1 = sequential, 0 = auto); every digest is \
+             identical for any value")
+  in
+  let run json quick seed plan test no_fast_path out domains =
     let base = if quick then Raceguard.Chaos.quick else Raceguard.Chaos.default in
-    let config = { base with Raceguard.Chaos.seed; fast_path = not no_fast_path } in
+    let config = { base with Raceguard.Chaos.seed; fast_path = not no_fast_path; domains } in
     let with_plan =
       match plan with
       | None -> Ok config
@@ -194,6 +213,15 @@ let chaos_cmd =
                 close_out oc;
                 Printf.eprintf "chaos report: %s\n%!" file
             | None -> print_string rendered);
+            if report.Raceguard.Chaos.rp_resilient_violations > 0 then begin
+              (* a resilient cell broke an invariant oracle: the one
+                 outcome that must never pass CI — exit 1 outright
+                 (cmdliner's `Error path would exit 124, which generic
+                 shell wrappers don't treat as a test failure) *)
+              Printf.eprintf "chaos matrix FAILED: %d resilient cell violation(s)\n%!"
+                report.Raceguard.Chaos.rp_resilient_violations;
+              exit 1
+            end;
             if Raceguard.Chaos.passed report then `Ok ()
             else `Error (false, "chaos matrix failed: invariant asymmetry not established"))
   in
@@ -201,7 +229,7 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ json_arg $ quick_arg $ seed_arg $ plan_arg $ test_arg $ no_fast_path_arg
-       $ out_arg))
+       $ out_arg $ domains_arg))
 
 let json_check_cmd =
   let doc =

@@ -117,7 +117,25 @@ let lint_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed for $(b,--cross-check).")
   in
-  let run path json cross_check seed =
+  let cross_seeds =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "cross-seeds" ] ~docv:"N,M,..."
+          ~doc:
+            "Replay $(b,--cross-check) under each of these scheduler seeds and compare the \
+             static findings against the union of the dynamic signatures (more schedules \
+             shrink the static-only bucket).  Defaults to just $(b,--seed).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the per-seed replays (1 = sequential, 0 = auto).  Verdicts \
+             are identical for any value.")
+  in
+  let run path json cross_check seed cross_seeds domains =
     let go () =
       let file, src, pp = load path in
       let ast = M.Preprocess.parse pp ~file src in
@@ -130,10 +148,12 @@ let lint_cmd =
       | [] ->
           let result = M.Static_race.analyse ast in
           let cc =
-            if cross_check then
+            if cross_check || cross_seeds <> [] then
+              let seeds = if cross_seeds = [] then [ seed ] else cross_seeds in
               Some
-                (Raceguard.Static_dyn.cross_check ~static:result
-                   ~dynamic:(dynamic_reports ~seed ~file ~src))
+                (Raceguard.Static_dyn.cross_check_seeds ~domains ~static:result
+                   ~run:(fun seed -> dynamic_reports ~seed ~file ~src)
+                   seeds)
             else None
           in
           (if json then
@@ -159,7 +179,7 @@ let lint_cmd =
        ~doc:
          "Static lockset & thread-escape analysis: interprocedural must-locksets, fork-join \
           ordering and escape closure, without executing the program.")
-    Term.(ret (const run $ file_arg $ json $ cross_check $ seed))
+    Term.(ret (const run $ file_arg $ json $ cross_check $ seed $ cross_seeds $ domains))
 
 (* --- run -------------------------------------------------------------- *)
 

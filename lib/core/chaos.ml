@@ -40,6 +40,10 @@ type config = {
   tests : Sip.Workload.test_case list;
   fast_path : bool;  (** detector fast path — must not change any digest *)
   max_ops : int;
+  domains : int;
+      (** worker domains for the cell grid; 1 = sequential, 0 = pick
+          from [Domain.recommended_domain_count] — must not change any
+          digest either (pinned by test and the CI par-smoke step) *)
 }
 
 (** The resilience knobs used by every resilient cell: an aggressive
@@ -56,6 +60,7 @@ let default =
     tests = Sip.Workload.chaos_test_cases chaos_opts;
     fast_path = true;
     max_ops = 4_000_000;
+    domains = 1;
   }
 
 (** The CI smoke subset: three representative plans (datagram loss,
@@ -286,27 +291,36 @@ let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_c
 type report = {
   rp_seed : int;
   rp_fast_path : bool;
+  rp_domains : int;  (** worker domains the grid actually ran on *)
   rp_cells : cell list;
   rp_resilient_violations : int;  (** cells with resilience ON that violate *)
   rp_baseline_violations : int;  (** cells with resilience OFF that violate *)
 }
 
+(** The cell grid, in the order the sequential runner executes it:
+    plans outermost, then tests, resilient before baseline. *)
+let grid config =
+  List.concat_map
+    (fun plan ->
+      List.concat_map
+        (fun tc -> List.map (fun resilient -> (plan, tc, resilient)) [ true; false ])
+        config.tests)
+    config.plans
+  |> Array.of_list
+
 let run config =
+  let domains = Raceguard_par.Par.resolve config.domains in
   let cells =
-    List.concat_map
-      (fun plan ->
-        List.concat_map
-          (fun tc ->
-            List.map
-              (fun resilient -> run_cell config ~plan ~resilient tc)
-              [ true; false ])
-          config.tests)
-      config.plans
+    Raceguard_par.Par.map_cells ~domains
+      (fun (plan, tc, resilient) -> run_cell config ~plan ~resilient tc)
+      (grid config)
+    |> Array.to_list
   in
   let count p = List.length (List.filter p cells) in
   {
     rp_seed = config.seed;
     rp_fast_path = config.fast_path;
+    rp_domains = domains;
     rp_cells = cells;
     rp_resilient_violations = count (fun c -> c.cl_resilient && c.cl_violations <> []);
     rp_baseline_violations = count (fun c -> (not c.cl_resilient) && c.cl_violations <> []);
@@ -368,6 +382,7 @@ let to_json ?(config = default) r =
       ("schema", Json.Str "raceguard-chaos/1");
       ("seed", Json.int r.rp_seed);
       ("fast_path", Json.Bool r.rp_fast_path);
+      ("domains", Json.int r.rp_domains);
       ("plans", Json.List (List.map Faults.Plan.to_json config.plans));
       ("cells", Json.List (List.map cell_to_json r.rp_cells));
       ( "summary",
@@ -383,8 +398,8 @@ let to_json ?(config = default) r =
 
 let pp ppf r =
   let open Format in
-  fprintf ppf "chaos matrix: seed %d, %d cells (fast_path %b)@," r.rp_seed
-    (List.length r.rp_cells) r.rp_fast_path;
+  fprintf ppf "chaos matrix: seed %d, %d cells (fast_path %b, %d domain(s))@," r.rp_seed
+    (List.length r.rp_cells) r.rp_fast_path r.rp_domains;
   fprintf ppf "%-12s %-4s %-4s %5s %5s %5s %5s %6s  %s@," "plan" "test" "res" "locs" "unans"
     "wrong" "shed" "inject" "verdict";
   List.iter

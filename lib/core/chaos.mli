@@ -15,6 +15,10 @@ type config = {
   fast_path : bool;
       (** detector fast-path toggle — guaranteed not to change digests *)
   max_ops : int;
+  domains : int;
+      (** worker domains for the cell grid (work-stealing pool,
+          [lib/par/]); 1 = sequential, 0 = auto — guaranteed not to
+          change digests either *)
 }
 
 val default : config
@@ -55,15 +59,24 @@ type cell = {
 val run_cell :
   config -> plan:Faults.Plan.t -> resilient:bool -> Sip.Workload.test_case -> cell
 
+val grid : config -> (Faults.Plan.t * Sip.Workload.test_case * bool) array
+(** The cell grid in the order the sequential runner executes it:
+    plans outermost, then tests, resilient before baseline.  Exposed
+    so harnesses (the bench scaling suite) can drive {!run_cell} over
+    the pool themselves and read the steal statistics. *)
+
 type report = {
   rp_seed : int;
   rp_fast_path : bool;
+  rp_domains : int;
   rp_cells : cell list;
   rp_resilient_violations : int;
   rp_baseline_violations : int;
 }
 
 val run : config -> report
+(** Runs the cell grid on [config.domains] worker domains; the report
+    (cell order, every digest) is identical for any domain count. *)
 
 val passed : report -> bool
 (** Resilient cells all clean AND at least one baseline cell violates

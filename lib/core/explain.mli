@@ -33,6 +33,7 @@ type t = {
   x_base : Det.Helgrind.config;
   x_knobs : string list;  (** the knobs that were attributable *)
   x_seed : int;
+  x_domains : int;  (** resolved worker-domain count the rerun used *)
   x_warnings : explained list;
   x_result : Runner.result;
 }
@@ -40,10 +41,19 @@ type t = {
 val test_case_of_string : string -> Sip.Workload.test_case option
 (** Case-insensitive lookup among T1–T8. *)
 
-val run : ?runner:Runner.config -> ?base:Det.Helgrind.config -> Sip.Workload.test_case -> t
+val run :
+  ?runner:Runner.config ->
+  ?base:Det.Helgrind.config ->
+  ?domains:int ->
+  Sip.Workload.test_case ->
+  t
 (** [base] defaults to the paper's Original configuration (so hwlc and
     dr are attributable).  Pass [runner] to control seed / policy /
-    tracer. *)
+    tracer.  [domains] (default 1; 0 = auto) runs each configuration
+    as its own cell on the work-stealing pool — the VM is
+    deterministic, so warnings and attribution are identical to the
+    sequential side-by-side run; only the metrics snapshot (merged
+    across cells) reflects the extra VM replays. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human rendering: each warning with its Valgrind-style report, its

@@ -82,6 +82,21 @@ let cross_check ~(static : Static.result) ~(dynamic : Report.t list) : t =
     n_dynamic_only = Sig_set.cardinal dynamic_only;
   }
 
+(** Multi-seed cross-check: replay the program under [run] once per
+    seed (each replay a cell on the work-stealing pool) and compare
+    the static findings against the {e union} of the dynamic
+    signatures.  More schedules shrink the static-only bucket — an
+    unexecuted path on seed 1 may execute on seed 42.  Set union is
+    order-independent and {!cross_check} sorts its entries, so the
+    verdicts are identical for any [domains]. *)
+let cross_check_seeds ?(domains = 1) ~(static : Static.result)
+    ~(run : int -> Report.t list) seeds : t =
+  let seeds = Array.of_list (List.sort_uniq compare seeds) in
+  let per_seed =
+    Raceguard_par.Par.map_cells ~domains:(Raceguard_par.Par.resolve domains) run seeds
+  in
+  cross_check ~static ~dynamic:(List.concat (Array.to_list per_seed))
+
 let verdict_to_string = function
   | Confirmed -> "confirmed"
   | Static_only -> "static-only"

@@ -24,6 +24,16 @@ type t = {
 
 val cross_check : static:Static.result -> dynamic:Report.t list -> t
 
+val cross_check_seeds :
+  ?domains:int -> static:Static.result -> run:(int -> Report.t list) -> int list -> t
+(** [cross_check_seeds ~domains ~static ~run seeds] replays the
+    program once per seed ([run seed] must return that schedule's
+    dynamic reports, a pure function of the seed) — each replay a cell
+    on the work-stealing pool — and cross-checks against the union of
+    the dynamic signatures.  Seeds are de-duplicated and sorted;
+    verdicts are identical for any [domains] (1 = sequential,
+    0 = auto). *)
+
 val verdict_to_string : verdict -> string
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Raceguard_obs.Json.t

@@ -35,17 +35,24 @@ type class_desc = {
 
 and t = class_desc
 
-(* vtable ids: one per class, assigned on first use *)
-let vtable_ids : (string, int) Hashtbl.t = Hashtbl.create 64
-let next_vtable = ref 1
+(* vtable ids: one per class name, assigned on first use.  The table is
+   domain-local (the multicore pool runs independent cells on several
+   domains): ids are only ever written into VM memory and compared
+   within one cell, so per-domain numbering is invisible to cell
+   behaviour, and a shared Hashtbl would race. *)
+type vtables = { mutable next_vtable : int; vtable_ids : (string, int) Hashtbl.t }
+
+let vtables_key : vtables Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { next_vtable = 1; vtable_ids = Hashtbl.create 64 })
 
 let vtable_id cls =
-  match Hashtbl.find_opt vtable_ids cls.cls_name with
+  let vt = Domain.DLS.get vtables_key in
+  match Hashtbl.find_opt vt.vtable_ids cls.cls_name with
   | Some id -> id
   | None ->
-      let id = !next_vtable in
-      incr next_vtable;
-      Hashtbl.replace vtable_ids cls.cls_name id;
+      let id = vt.next_vtable in
+      vt.next_vtable <- id + 1;
+      Hashtbl.replace vt.vtable_ids cls.cls_name id;
       id
 
 (** Define a class.  [parent] gives single inheritance. *)

@@ -25,26 +25,48 @@ let m_transition_hits = Metrics.counter "detector.held_locks.transition_memo_hit
 let m_transition_misses = Metrics.counter "detector.held_locks.transition_memo_misses"
 let m_nonlifo_releases = Metrics.counter "detector.held_locks.nonlifo_releases"
 
-let ctx_count = ref 1
+(* The whole memo store — including the root ctx, whose bus set is an
+   interned lockset — is domain-local (Domain.DLS).  The multicore pool
+   runs independent cells on several domains; lockset interning is
+   domain-local, so a ctx built on one domain must never be extended on
+   another (its set ids would collide with the other domain's memo
+   keys), and a shared Hashtbl would be a crash hazard anyway.  Each
+   detector instance lives and dies on one domain, so every ctx it ever
+   sees comes from its own domain's store. *)
+type store = { mutable ctx_count : int; s_root : ctx; transitions : (int, ctx) Hashtbl.t }
+(** [transitions]: (c_id, uid, mode) -> successor ctx.  uids share the
+    24-bit guard of lockset ids; ctx ids stay far below 2^30. *)
 
-let root =
-  let bus = Lockset.of_list [ Lock_id.bus ] in
-  { c_id = 0; any_set = Lockset.empty; any_bus = bus; write_set = Lockset.empty; write_bus = bus }
+let store_key : store Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let bus = Lockset.of_list [ Lock_id.bus ] in
+      {
+        ctx_count = 1;
+        s_root =
+          {
+            c_id = 0;
+            any_set = Lockset.empty;
+            any_bus = bus;
+            write_set = Lockset.empty;
+            write_bus = bus;
+          };
+        transitions = Hashtbl.create 256;
+      })
 
-(* (c_id, uid, mode) -> successor ctx.  uids share the 24-bit guard of
-   lockset ids; ctx ids stay far below 2^30. *)
-let transitions : (int, ctx) Hashtbl.t = Hashtbl.create 256
+let store () = Domain.DLS.get store_key
+let root () = (store ()).s_root
 
-let fresh_ctx ~any_set ~any_bus ~write_set ~write_bus =
-  let c = { c_id = !ctx_count; any_set; any_bus; write_set; write_bus } in
-  incr ctx_count;
-  Metrics.set m_ctx_count !ctx_count;
+let fresh_ctx st ~any_set ~any_bus ~write_set ~write_bus =
+  let c = { c_id = st.ctx_count; any_set; any_bus; write_set; write_bus } in
+  st.ctx_count <- st.ctx_count + 1;
+  Metrics.set m_ctx_count st.ctx_count;
   c
 
 let transition c uid (mode : Raceguard_vm.Eff.mode) =
+  let st = store () in
   let mode_bit = match mode with Raceguard_vm.Eff.Write_mode -> 1 | Read_mode -> 0 in
   let key = (c.c_id lsl 26) lor (uid lsl 1) lor mode_bit in
-  match Hashtbl.find transitions key with
+  match Hashtbl.find st.transitions key with
   | c' ->
       Metrics.incr m_transition_hits;
       c'
@@ -53,18 +75,18 @@ let transition c uid (mode : Raceguard_vm.Eff.mode) =
       let c' =
         match mode with
         | Raceguard_vm.Eff.Write_mode ->
-            fresh_ctx
+            fresh_ctx st
               ~any_set:(Lockset.add uid c.any_set)
               ~any_bus:(Lockset.add uid c.any_bus)
               ~write_set:(Lockset.add uid c.write_set)
               ~write_bus:(Lockset.add uid c.write_bus)
         | Raceguard_vm.Eff.Read_mode ->
-            fresh_ctx
+            fresh_ctx st
               ~any_set:(Lockset.add uid c.any_set)
               ~any_bus:(Lockset.add uid c.any_bus)
               ~write_set:c.write_set ~write_bus:c.write_bus
       in
-      Hashtbl.add transitions key c';
+      Hashtbl.add st.transitions key c';
       c'
 
 type snap = { s_uid : int; s_held_any : int list; s_held_write : int list; s_ctx : ctx }
@@ -80,7 +102,7 @@ type t = {
           out-of-order release *)
 }
 
-let create () = { held_any = []; held_write = []; ctx = root; snaps = [] }
+let create () = { held_any = []; held_write = []; ctx = root (); snaps = [] }
 
 let acquire t uid (mode : Raceguard_vm.Eff.mode) =
   t.snaps <-
@@ -102,7 +124,7 @@ let remove_one uid xs =
 let recompute held_any held_write =
   let any_set = Lockset.of_list held_any in
   let write_set = Lockset.of_list held_write in
-  fresh_ctx ~any_set
+  fresh_ctx (store ()) ~any_set
     ~any_bus:(Lockset.add Lock_id.bus any_set)
     ~write_set
     ~write_bus:(Lockset.add Lock_id.bus write_set)

@@ -44,28 +44,6 @@ module Intern = Hashtbl.Make (Key)
 let top = { id = 0; repr = Top }
 let empty = { id = 1; repr = Set Iss.empty }
 
-(* ids are process-global: lock uids restart per VM instance, so the
-   universe of distinct sets stays small even across many runs *)
-let next_id = ref 2
-let table : t Intern.t = Intern.create 256
-
-let intern (s : Iss.t) =
-  if Iss.is_empty s then empty
-  else
-    match Intern.find_opt table s with
-    | Some t -> t
-    | None ->
-        if !next_id >= 0xFFFFFF then failwith "Lockset: intern id space exhausted";
-        let t = { id = !next_id; repr = Set s } in
-        incr next_id;
-        Intern.add table s t;
-        Metrics.set m_interned (!next_id - 2);
-        t
-
-let of_list l = intern (Iss.of_list l)
-
-(* --- memoised intersection ---------------------------------------- *)
-
 (* the memo key packs both ids into one immediate int (no tuple
    allocation on the hot path); [intern] guards the 24-bit id space *)
 module Memo = Hashtbl.Make (struct
@@ -75,7 +53,51 @@ module Memo = Hashtbl.Make (struct
   let hash (k : int) = Hashtbl.hash k
 end)
 
-let inter_memo : t Memo.t = Memo.create 1024
+(* ids are domain-global: lock uids restart per VM instance, so the
+   universe of distinct sets stays small even across many runs.  The
+   whole intern/memo store is domain-local (Domain.DLS): the multicore
+   pool runs independent cells on several domains, and sharing one
+   Hashtbl across them would be both a crash hazard and an id-space
+   collision (memo keys embed ids).  Physical equality of sets holds
+   within a domain — exactly the scope of any one cell's detectors. *)
+type store = {
+  mutable next_id : int;
+  table : t Intern.t;
+  inter_memo : t Memo.t;
+  add_memo : t Memo.t;
+  remove_memo : t Memo.t;
+}
+
+let store_key : store Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        next_id = 2;
+        table = Intern.create 256;
+        inter_memo = Memo.create 1024;
+        add_memo = Memo.create 256;
+        remove_memo = Memo.create 256;
+      })
+
+let store () = Domain.DLS.get store_key
+
+let intern_in st (s : Iss.t) =
+  if Iss.is_empty s then empty
+  else
+    match Intern.find_opt st.table s with
+    | Some t -> t
+    | None ->
+        if st.next_id >= 0xFFFFFF then failwith "Lockset: intern id space exhausted";
+        let t = { id = st.next_id; repr = Set s } in
+        st.next_id <- st.next_id + 1;
+        Intern.add st.table s t;
+        Metrics.set m_interned (st.next_id - 2);
+        t
+
+let intern s = intern_in (store ()) s
+
+let of_list l = intern (Iss.of_list l)
+
+(* --- memoised intersection ---------------------------------------- *)
 
 let inter a b =
   if a == b then a
@@ -84,20 +106,21 @@ let inter a b =
     | Top, _ -> b
     | _, Top -> a
     | Set sa, Set sb -> (
+        let st = store () in
         let key =
           if a.id <= b.id then (a.id lsl 24) lor b.id else (b.id lsl 24) lor a.id
         in
         (* Hashtbl.find over find_opt: no [Some] allocation on the hit
            path, and hits dominate after warm-up *)
-        match Memo.find inter_memo key with
+        match Memo.find st.inter_memo key with
         | r ->
             Metrics.incr m_memo_hits;
             r
         | exception Not_found ->
             Metrics.incr m_memo_misses;
-            let r = intern (Iss.inter sa sb) in
-            Memo.add inter_memo key r;
-            Metrics.set m_inter_memo_entries (Memo.length inter_memo);
+            let r = intern_in st (Iss.inter sa sb) in
+            Memo.add st.inter_memo key r;
+            Metrics.set m_inter_memo_entries (Memo.length st.inter_memo);
             r)
 
 let union a b =
@@ -108,31 +131,31 @@ let union a b =
 (* add/remove run on every acquire/release — in lock-heavy workloads
    that is a third of all events — so they are memoised too, keyed by
    (element, set id).  Lock uids share the 24-bit guard of set ids. *)
-let add_memo : t Memo.t = Memo.create 256
-let remove_memo : t Memo.t = Memo.create 256
 
 let add x t =
   match t.repr with
   | Top -> top
   | Set s -> (
+      let st = store () in
       let key = (x lsl 24) lor t.id in
-      match Memo.find add_memo key with
+      match Memo.find st.add_memo key with
       | r -> r
       | exception Not_found ->
-          let r = intern (Iss.add x s) in
-          Memo.add add_memo key r;
+          let r = intern_in st (Iss.add x s) in
+          Memo.add st.add_memo key r;
           r)
 
 let remove x t =
   match t.repr with
   | Top -> top
   | Set s -> (
+      let st = store () in
       let key = (x lsl 24) lor t.id in
-      match Memo.find remove_memo key with
+      match Memo.find st.remove_memo key with
       | r -> r
       | exception Not_found ->
-          let r = intern (Iss.remove x s) in
-          Memo.add remove_memo key r;
+          let r = intern_in st (Iss.remove x s) in
+          Memo.add st.remove_memo key r;
           r)
 
 (* ------------------------------------------------------------------ *)
@@ -146,11 +169,11 @@ let mem x t = match t.repr with Top -> true | Set s -> Iss.mem x s
 let cardinal t = match t.repr with Top -> max_int | Set s -> Iss.cardinal s
 let to_list t = match t.repr with Top -> None | Set s -> Some (Iss.to_list s)
 
-let interned_count () = !next_id - 2
+let interned_count () = (store ()).next_id - 2
 
 let stats () =
   ( interned_count (),
-    Memo.length inter_memo,
+    Memo.length (store ()).inter_memo,
     Metrics.counter_value m_memo_hits,
     Metrics.counter_value m_memo_misses )
 

@@ -4,12 +4,20 @@
     Design constraints, in order:
 
     - The hot path (detector per-access code, VM event dispatch) must
-      pay one [t.v <- t.v + 1] per increment — no hashing, no
-      allocation.  Handles are therefore created once (registration
-      hashes the name) and incremented through a mutable record field.
+      stay trivial — one domain-local array store per increment, no
+      hashing, no allocation.  Handles are created once (registration
+      hashes the name and assigns a slot) and incremented through that
+      slot.
+    - Since the multicore pool ([lib/par/]) runs independent cells on
+      several domains at once, every instrument's {e state} is
+      domain-local: a handle names a slot, and each domain lazily
+      materialises its own slot array via [Domain.DLS].  A cell's
+      [snapshot]/[diff] therefore sees exactly the work its own domain
+      did — no cross-domain interference, no locks on the hot path —
+      and per-cell snapshots combine with {!merge}.
     - Runs happen back-to-back in one process (bench rows, the runner's
       multi-config sweeps), so consumers need per-run deltas from
-      process-global counters: [snapshot] + [diff].
+      domain-global counters: [snapshot] + [diff].
     - Merging snapshots from independent runs must be associative and
       commutative so aggregation order can't change results (tested by
       qcheck in [test/test_obs.ml]): counters and histogram buckets
@@ -22,22 +30,48 @@
 
 let buckets = 64
 
-type counter = { c_name : string; mutable c_v : int }
-type gauge = { g_name : string; mutable g_v : int }
-type histogram = { h_name : string; h_buckets : int array; mutable h_count : int; mutable h_sum : int }
+type hist_state = { hs_buckets : int array; mutable hs_count : int; mutable hs_sum : int }
 
-type registry = {
+let fresh_hist () = { hs_buckets = Array.make buckets 0; hs_count = 0; hs_sum = 0 }
+
+type counter = { c_name : string; c_slot : int; c_reg : registry }
+and gauge = { g_name : string; g_slot : int; g_reg : registry }
+and histogram = { h_name : string; h_slot : int; h_reg : registry }
+
+and registry = {
   mutable counters : counter list;
   mutable gauges : gauge list;
   mutable histograms : histogram list;
-  tbl : (string, unit) Hashtbl.t; (* duplicate-name guard *)
+  n_counters : int ref;  (** slots assigned so far (also sizes new domains' arrays) *)
+  n_gauges : int ref;
+  n_histograms : int ref;
+  c_key : int array Domain.DLS.key;  (** this domain's counter values by slot *)
+  g_key : int array Domain.DLS.key;
+  h_key : hist_state array Domain.DLS.key;
+  tbl : (string, unit) Hashtbl.t;  (* duplicate-name guard *)
+  reg_lock : Mutex.t;  (* registration only; never on the hot path *)
 }
 
-let create () = { counters = []; gauges = []; histograms = []; tbl = Hashtbl.create 64 }
+let create () =
+  let n_counters = ref 0 and n_gauges = ref 0 and n_histograms = ref 0 in
+  {
+    counters = [];
+    gauges = [];
+    histograms = [];
+    n_counters;
+    n_gauges;
+    n_histograms;
+    c_key = Domain.DLS.new_key (fun () -> Array.make (max 8 !n_counters) 0);
+    g_key = Domain.DLS.new_key (fun () -> Array.make (max 8 !n_gauges) 0);
+    h_key =
+      Domain.DLS.new_key (fun () -> Array.init (max 8 !n_histograms) (fun _ -> fresh_hist ()));
+    tbl = Hashtbl.create 64;
+    reg_lock = Mutex.create ();
+  }
 
-(* One process-wide registry.  Library code registers its instruments
-   here at module-init or first use; consumers take before/after
-   snapshots and [diff] them. *)
+(* One process-wide registry (with per-domain state).  Library code
+   registers its instruments here at module-init or first use;
+   consumers take before/after snapshots and [diff] them. *)
 let default = create ()
 
 let check_fresh r name =
@@ -45,29 +79,81 @@ let check_fresh r name =
     invalid_arg (Printf.sprintf "Obs.Metrics: duplicate instrument %S" name);
   Hashtbl.replace r.tbl name ()
 
+let registered r f =
+  Mutex.lock r.reg_lock;
+  match f () with
+  | v ->
+      Mutex.unlock r.reg_lock;
+      v
+  | exception e ->
+      Mutex.unlock r.reg_lock;
+      raise e
+
 let counter ?(registry = default) name =
+  registered registry @@ fun () ->
   check_fresh registry name;
-  let c = { c_name = name; c_v = 0 } in
+  let c = { c_name = name; c_slot = !(registry.n_counters); c_reg = registry } in
+  incr registry.n_counters;
   registry.counters <- c :: registry.counters;
   c
 
 let gauge ?(registry = default) name =
+  registered registry @@ fun () ->
   check_fresh registry name;
-  let g = { g_name = name; g_v = 0 } in
+  let g = { g_name = name; g_slot = !(registry.n_gauges); g_reg = registry } in
+  incr registry.n_gauges;
   registry.gauges <- g :: registry.gauges;
   g
 
 let histogram ?(registry = default) name =
+  registered registry @@ fun () ->
   check_fresh registry name;
-  let h = { h_name = name; h_buckets = Array.make buckets 0; h_count = 0; h_sum = 0 } in
+  let h = { h_name = name; h_slot = !(registry.n_histograms); h_reg = registry } in
+  incr registry.n_histograms;
   registry.histograms <- h :: registry.histograms;
   h
 
-let incr c = c.c_v <- c.c_v + 1
-let add c n = c.c_v <- c.c_v + n
-let counter_value c = c.c_v
-let set g v = g.g_v <- v
-let gauge_value g = g.g_v
+(* This domain's slot array, grown if instruments were registered after
+   the array was created (registration happens at module init, so
+   growth is once-per-domain cold path at worst). *)
+let int_cells key wanted n =
+  let a = Domain.DLS.get key in
+  if wanted < Array.length a then a
+  else begin
+    let a' = Array.make (max !n (Array.length a * 2)) 0 in
+    Array.blit a 0 a' 0 (Array.length a);
+    Domain.DLS.set key a';
+    a'
+  end
+
+let c_cells c = int_cells c.c_reg.c_key c.c_slot c.c_reg.n_counters
+let g_cells g = int_cells g.g_reg.g_key g.g_slot g.g_reg.n_gauges
+
+let h_state h =
+  let a = Domain.DLS.get h.h_reg.h_key in
+  if h.h_slot < Array.length a then a.(h.h_slot)
+  else begin
+    let n = max !(h.h_reg.n_histograms) (Array.length a * 2) in
+    let a' = Array.init n (fun i -> if i < Array.length a then a.(i) else fresh_hist ()) in
+    Domain.DLS.set h.h_reg.h_key a';
+    a'.(h.h_slot)
+  end
+
+let incr c =
+  let a = c_cells c in
+  a.(c.c_slot) <- a.(c.c_slot) + 1
+
+let add c n =
+  let a = c_cells c in
+  a.(c.c_slot) <- a.(c.c_slot) + n
+
+let counter_value c = (c_cells c).(c.c_slot)
+
+let set g v =
+  let a = g_cells g in
+  a.(g.g_slot) <- v
+
+let gauge_value g = (g_cells g).(g.g_slot)
 
 let bucket_of_value v =
   if v <= 0 then 0
@@ -79,9 +165,10 @@ let bucket_of_value v =
 let observe h v =
   let v = max 0 v in
   let b = bucket_of_value v in
-  h.h_buckets.(b) <- h.h_buckets.(b) + 1;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum + v
+  let st = h_state h in
+  st.hs_buckets.(b) <- st.hs_buckets.(b) + 1;
+  st.hs_count <- st.hs_count + 1;
+  st.hs_sum <- st.hs_sum + v
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
@@ -99,13 +186,17 @@ let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot ?(registry = default) () =
   {
-    s_counters = List.sort by_name (List.map (fun c -> (c.c_name, c.c_v)) registry.counters);
-    s_gauges = List.sort by_name (List.map (fun g -> (g.g_name, g.g_v)) registry.gauges);
+    s_counters =
+      List.sort by_name (List.map (fun c -> (c.c_name, counter_value c)) registry.counters);
+    s_gauges =
+      List.sort by_name (List.map (fun g -> (g.g_name, gauge_value g)) registry.gauges);
     s_histograms =
       List.sort by_name
         (List.map
            (fun h ->
-             (h.h_name, { buckets = Array.copy h.h_buckets; count = h.h_count; sum = h.h_sum }))
+             let st = h_state h in
+             ( h.h_name,
+               { buckets = Array.copy st.hs_buckets; count = st.hs_count; sum = st.hs_sum } ))
            registry.histograms);
   }
 

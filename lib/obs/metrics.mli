@@ -3,9 +3,12 @@
 
     Instruments are registered once (typically at module init) and
     incremented through their handle — the hot path is a single
-    mutable-field update, no hashing or allocation.  Consumers take
-    [snapshot]s of the process-global [default] registry and [diff]
-    them to get per-run deltas. *)
+    domain-local array store, no hashing or allocation.  Instrument
+    {e state} is domain-local ([Domain.DLS]): each domain sees only the
+    work it did, so independent cells running on the multicore pool
+    ([lib/par/]) never interfere, and their per-cell [snapshot]/[diff]
+    deltas combine with [merge].  Consumers take [snapshot]s of the
+    [default] registry and [diff] them to get per-run deltas. *)
 
 type registry
 

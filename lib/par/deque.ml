@@ -1,0 +1,97 @@
+(** A fixed-capacity Chase–Lev work-stealing deque.
+
+    One owner domain pushes and pops at the {e bottom} (LIFO); any
+    other domain steals from the {e top} (FIFO).  The two ends only
+    meet on the last element, where a compare-and-set on [top] decides
+    the race — OCaml atomics are sequentially consistent, so the
+    classic Chase–Lev claim protocol carries over unchanged.
+
+    Simplifications relative to the dynamic-buffer original (and to the
+    [par-ml] DCYL exemplar):
+
+    - the buffer never grows: the pool knows the total cell count up
+      front, so [create ~capacity] allocates once and [push] raises
+      {!Full} instead of resizing — no buffer-recycling epoch logic;
+    - a slot is written only by the owner, and the protocol guarantees
+      a thief reads a slot only when its claim of [top] succeeds, after
+      the push that filled it has been published by the owner's atomic
+      write to [bottom] (which the thief's read of [bottom]
+      synchronised with); a failed claim discards whatever was read;
+    - [steal] distinguishes {!Empty} from {!Retry} (lost a CAS race),
+      so the pool can run bounded steal rounds over its victims before
+      backing off, as in the exemplar.
+
+    The record places a dead [int array] between [top] and [bottom] so
+    the two contended atomics do not share a cache line (the poor
+    portable cousin of [Multicore_magic.copy_as_padded]). *)
+
+exception Full
+
+type 'a t = {
+  top : int Atomic.t;  (** next index thieves claim; only ever grows *)
+  pad_ : int array;  (** spacer: keeps [top] and [bottom] on separate lines *)
+  bottom : int Atomic.t;  (** owner's end; one past the last pushed slot *)
+  slots : 'a option array;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Deque.create: capacity must be >= 1";
+  {
+    top = Atomic.make 0;
+    pad_ = Array.make 15 0;
+    bottom = Atomic.make 0;
+    slots = Array.make capacity None;
+  }
+
+let capacity d = Array.length d.slots
+
+(* keep the spacer alive against over-eager dead-field analysis *)
+let _ = fun d -> d.pad_
+
+let size d =
+  let b = Atomic.get d.bottom and t = Atomic.get d.top in
+  max 0 (b - t)
+
+(** Owner only.  Publishing order matters: the slot write precedes the
+    atomic bump of [bottom], so any thief that observes the new
+    [bottom] also observes the slot contents. *)
+let push d x =
+  let b = Atomic.get d.bottom in
+  if b >= Array.length d.slots then raise Full;
+  d.slots.(b) <- Some x;
+  Atomic.set d.bottom (b + 1)
+
+(** Owner only.  Reserve the bottom slot first, then re-check against
+    [top]: if the deque held more than one element the reservation is
+    uncontended; on the last element the owner races thieves with the
+    same CAS they use. *)
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b > t then d.slots.(b)
+  else if b = t then begin
+    (* exactly one element left: win it or lose it via [top] *)
+    let won = Atomic.compare_and_set d.top t (t + 1) in
+    Atomic.set d.bottom (t + 1);
+    if won then d.slots.(b) else None
+  end
+  else begin
+    (* already empty; undo the reservation *)
+    Atomic.set d.bottom t;
+    None
+  end
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+(** Any domain.  [Retry] means another thief (or the owner, on the last
+    element) won the CAS — the deque may still be non-empty. *)
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then Empty
+  else
+    let x = d.slots.(t) in
+    if Atomic.compare_and_set d.top t (t + 1) then
+      match x with Some v -> Stolen v | None -> assert false
+    else Retry

@@ -1,0 +1,33 @@
+(** Fixed-capacity Chase–Lev work-stealing deque.
+
+    One owner domain pushes/pops at the bottom (LIFO); other domains
+    steal from the top (FIFO).  All claim decisions go through
+    sequentially-consistent atomics; slots are only read by a thief
+    whose claim succeeded.  The buffer never grows — the pool sizes it
+    to the cell count up front. *)
+
+type 'a t
+
+exception Full
+(** Raised by {!push} past [capacity] — the pool pre-sizes, so hitting
+    this is a caller bug, not a runtime condition to handle. *)
+
+val create : capacity:int -> 'a t
+val capacity : 'a t -> int
+
+val size : 'a t -> int
+(** Racy snapshot — exact only while no other domain is mutating. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only; takes the most recently pushed element. *)
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty  (** nothing to take at the time of the attempt *)
+  | Retry  (** lost a CAS race; the deque may still hold work *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain; takes the oldest element. *)

@@ -1,0 +1,32 @@
+(** Multicore cell pool: map over an array of independent
+    deterministic cells using work-stealing across OCaml 5 domains.
+
+    Contract: [map_cells ~domains f cells] returns exactly
+    [Array.map f cells] — same slots, same values — for any [domains].
+    Cells must be independent (no shared mutable state outside the
+    domain-local caches; each cell builds its own VM/tool instances)
+    and are executed at most once each.  If any cell raises, all cells
+    still run, then the exception of the lowest-index failing cell is
+    re-raised with its backtrace. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count () - 1], never below 1 — what
+    [domains = 0] resolves to everywhere a [--domains] flag exists. *)
+
+val resolve : int -> int
+(** [resolve d] is [recommended ()] when [d <= 0], else [d]. *)
+
+type stats = {
+  st_domains : int;  (** workers actually used (capped by cell count) *)
+  st_cells : int;
+  st_steals : int;  (** cells executed by a non-home worker *)
+}
+
+val map_cells : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [domains <= 1] (after {!resolve}) runs sequentially in the calling
+    domain — byte-for-byte today's single-domain path. *)
+
+val map_cells_stats : domains:int -> ('a -> 'b) -> 'a array -> 'b array * stats
+
+val steal_rounds : int
+(** Bounded steal rounds per idle sweep before backing off. *)

@@ -19,5 +19,6 @@ let () =
       Test_fastpath.suite;
       Test_static.suite;
       Test_obs.suite;
+      Test_par.suite;
       Test_experiments.suite;
     ]
