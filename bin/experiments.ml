@@ -1,13 +1,21 @@
 (** Command-line entry point regenerating the paper's tables/figures.
 
     {v
-    raceguard-experiments list          # available experiments
-    raceguard-experiments run fig6      # one experiment
-    raceguard-experiments run all       # everything
-    raceguard-experiments explain T4    # per-warning provenance
+    raceguard-experiments list               # available experiments
+    raceguard-experiments run fig6           # one experiment
+    raceguard-experiments run all            # everything
+    raceguard-experiments explain T4         # per-warning provenance
+    raceguard-experiments trace record T4    # binary trace of a run
+    raceguard-experiments trace replay f.rgt # offline multi-detector replay
+    raceguard-experiments trace diff a b     # first divergent event
+    raceguard-experiments trace info f.rgt   # header/meta/histogram
     v} *)
 
 open Cmdliner
+
+module Det = Raceguard_detector
+module Trace = Raceguard_trace
+module Obs = Raceguard_obs
 
 let list_cmd =
   let doc = "List available experiments." in
@@ -48,10 +56,28 @@ let run_cmd =
 let explain_cmd =
   let doc =
     "Explain every warning of a test case: shadow-state history plus the config knobs (hwlc, \
-     dr, segments, hb) that would suppress it."
+     dr, segments, hb) that would suppress it.  With --from-trace, the explanation is \
+     derived by time travel through a recorded trace instead: each provenance transition is \
+     resolved to its exact trace offset and the surrounding schedule slice is printed."
   in
   let test_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"TEST" ~doc:"test case (T1..T8)")
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"test case (T1..T8); not needed with --from-trace")
+  in
+  let from_trace_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from-trace" ] ~docv:"FILE"
+          ~doc:"time-travel a recorded raceguard-trace/1 file instead of running a test case")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "window" ] ~docv:"N"
+          ~doc:"schedule-slice events either side of each transition (with --from-trace)")
   in
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"emit machine-readable JSON instead of text")
@@ -83,7 +109,23 @@ let explain_cmd =
              work-stealing pool (1 = sequential, 0 = auto); warnings and attribution are \
              identical for any value")
   in
-  let run test json seed trace sample metrics domains =
+  let run test from_trace window json seed trace sample metrics domains =
+    match from_trace with
+    | Some file -> (
+        match Raceguard_trace.Reader.of_file file with
+        | Error (`Msg m) -> `Error (false, Printf.sprintf "%s: %s" file m)
+        | Ok tr ->
+            let ft = Raceguard.Trace_ops.explain_from_trace ~window tr in
+            if json then
+              print_endline
+                (Raceguard_obs.Json.to_string ~indent:2
+                   (Raceguard.Trace_ops.from_trace_json ft))
+            else Fmt.pr "%a@." Raceguard.Trace_ops.pp_from_trace ft;
+            `Ok ())
+    | None -> (
+    match test with
+    | None -> `Error (true, "a TEST case (or --from-trace FILE) is required")
+    | Some test ->
     match Raceguard.Explain.test_case_of_string test with
     | None -> `Error (false, Printf.sprintf "unknown test case %S (expected T1..T8)" test)
     | Some tc ->
@@ -114,14 +156,14 @@ let explain_cmd =
             close_out oc;
             Printf.eprintf "metrics: %s\n%!" file
         | None -> ());
-        `Ok ()
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "explain" ~doc)
     Term.(
       ret
-        (const run $ test_arg $ json_arg $ seed_arg $ trace_arg $ sample_arg $ metrics_arg
-       $ domains_arg))
+        (const run $ test_arg $ from_trace_arg $ window_arg $ json_arg $ seed_arg $ trace_arg
+       $ sample_arg $ metrics_arg $ domains_arg))
 
 let chaos_cmd =
   let doc =
@@ -169,9 +211,23 @@ let chaos_cmd =
             "worker domains for the cell grid (1 = sequential, 0 = auto); every digest is \
              identical for any value")
   in
-  let run json quick seed plan test no_fast_path out domains =
+  let record_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record-dir" ] ~docv:"DIR"
+          ~doc:
+            "record every cell into a raceguard-trace/1 file under $(docv) (created if \
+             missing); the recorder is a pure observer, digests are unchanged")
+  in
+  let run json quick seed plan test no_fast_path out domains record_dir =
+    (match record_dir with
+    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+    | _ -> ());
     let base = if quick then Raceguard.Chaos.quick else Raceguard.Chaos.default in
-    let config = { base with Raceguard.Chaos.seed; fast_path = not no_fast_path; domains } in
+    let config =
+      { base with Raceguard.Chaos.seed; fast_path = not no_fast_path; domains; record_dir }
+    in
     let with_plan =
       match plan with
       | None -> Ok config
@@ -229,7 +285,236 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ json_arg $ quick_arg $ seed_arg $ plan_arg $ test_arg $ no_fast_path_arg
-       $ out_arg $ domains_arg))
+       $ out_arg $ domains_arg $ record_dir_arg))
+
+(* --- trace: record / replay / diff / info --------------------------- *)
+
+let load_trace file =
+  match Trace.Reader.of_file file with
+  | Ok t -> Ok t
+  | Error (`Msg m) -> Error (Printf.sprintf "%s: %s" file m)
+
+let pp_verdict ppf (v : Det.Offline.verdict) =
+  Fmt.pf ppf "%-20s %8d events %4d occurrence(s) %3d location(s)  sig %s  report %s"
+    v.v_config v.v_events v.v_occurrences v.v_locations
+    (String.sub v.v_sig_digest 0 12)
+    (String.sub v.v_report_digest 0 12)
+
+let trace_record_cmd =
+  let doc =
+    "Record a test case into a compact raceguard-trace/1 binary file: one VM run with the \
+     zero-analysis recorder attached.  With --verify-live, every registry detector \
+     configuration also observes the same run and its verdict digests are printed — the \
+     ground truth a later replay must reproduce."
+  in
+  let test_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TEST" ~doc:"test case (T1..T8)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"output file (default $(i,TEST)-$(i,SEED).rgt)")
+  in
+  let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"VM scheduling seed") in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N" ~doc:"snapshot marker cadence in events")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-live" ]
+          ~doc:"attach all registry detector configurations live and print their verdicts")
+  in
+  let run test out seed snapshot_every verify =
+    match Raceguard.Trace_ops.test_case_of_string test with
+    | None -> `Error (false, Printf.sprintf "unknown test case %S (expected T1..T8)" test)
+    | Some tc ->
+        let live = if verify then Det.Offline.configs else [] in
+        let r = Raceguard.Trace_ops.record_test ~seed ?snapshot_every ~live tc in
+        let file =
+          match out with
+          | Some f -> f
+          | None -> Printf.sprintf "%s-%d.rgt" (String.lowercase_ascii test) seed
+        in
+        Det.Offline.to_file r.rec_recorder file;
+        let w = Det.Offline.writer r.rec_recorder in
+        Printf.printf "recorded %s: %d events, %d snapshot(s), %d bytes (%.2f bytes/event)\n"
+          file
+          (Trace.Writer.event_count w)
+          (Trace.Writer.snapshot_count w)
+          (Trace.Writer.byte_size w)
+          (if Trace.Writer.event_count w = 0 then 0.
+           else float_of_int (Trace.Writer.byte_size w) /. float_of_int (Trace.Writer.event_count w));
+        List.iter (fun v -> Fmt.pr "live    %a@." pp_verdict v) r.rec_live;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc)
+    Term.(ret (const run $ test_arg $ out_arg $ seed_arg $ snapshot_arg $ verify_arg))
+
+let configs_arg =
+  Arg.(
+    value
+    & opt (list string) Det.Offline.configs
+    & info [ "configs" ] ~docv:"NAMES"
+        ~doc:
+          (Printf.sprintf "comma-separated detector configurations (default all: %s)"
+             (String.concat ", " Det.Offline.configs)))
+
+let trace_replay_cmd =
+  let doc =
+    "Replay a recorded trace through detector configurations without re-executing the \
+     program.  With --verify-live, the workload named in the trace header is re-run live \
+     (same seed) with the same configurations attached and every verdict must be \
+     byte-identical, or the command exits 1."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"trace file")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "fan configurations across worker domains (1 = sequential, 0 = auto); verdicts \
+             are identical for any value")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"emit raceguard-replay/1 JSON") in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-live" ] ~doc:"re-run the recorded workload live and compare verdicts")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"also export the trace as Chrome trace_event JSON to $(docv)")
+  in
+  let run file configs domains json verify chrome =
+    match load_trace file with
+    | Error e -> `Error (false, e)
+    | Ok trace -> (
+        let unknown = List.filter (fun c -> not (List.mem c Det.Offline.configs)) configs in
+        if unknown <> [] then
+          `Error (false, "unknown config(s): " ^ String.concat ", " unknown)
+        else
+          let replayed = Raceguard.Trace_ops.replay_parallel ~domains ~configs trace in
+          let live =
+            if not verify then []
+            else
+              match
+                ( Trace.Reader.meta_find trace "workload",
+                  Option.bind (Trace.Reader.meta_find trace "seed") int_of_string_opt )
+              with
+              | Some w, Some seed -> (
+                  match Raceguard.Trace_ops.test_case_of_string w with
+                  | Some tc ->
+                      (Raceguard.Trace_ops.record_test ~seed ~live:configs tc).rec_live
+                  | None -> failwith ("trace names unknown workload " ^ w))
+              | _ -> failwith "trace header lacks workload/seed meta; cannot verify live"
+          in
+          (match chrome with
+          | Some f ->
+              let oc = open_out f in
+              output_string oc
+                (Obs.Json.to_string ~indent:1 (Raceguard.Trace_ops.chrome_json trace));
+              close_out oc;
+              Printf.eprintf "chrome trace: %s\n%!" f
+          | None -> ());
+          if json then
+            print_endline
+              (Obs.Json.to_string ~indent:2
+                 (Raceguard.Trace_ops.replay_json ~live ~trace replayed))
+          else begin
+            Printf.printf "replayed %s: %d events through %d configuration(s), %d domain(s)\n"
+              file (Trace.Reader.length trace) (List.length configs) domains;
+            List.iter (fun v -> Fmt.pr "replay  %a@." pp_verdict v) replayed;
+            List.iter (fun v -> Fmt.pr "live    %a@." pp_verdict v) live
+          end;
+          if verify then begin
+            let comparison = Raceguard.Trace_ops.compare_verdicts ~live replayed in
+            let bad = List.filter (fun (_, v) -> v <> `Match) comparison in
+            if bad <> [] then begin
+              List.iter
+                (fun (name, _) ->
+                  Printf.eprintf "REPLAY MISMATCH: %s differs between live and replay\n" name)
+                bad;
+              exit 1
+            end;
+            (* stderr: with --json, stdout must stay one parseable object *)
+            Printf.eprintf "verify-live OK: %d configuration(s) byte-identical\n"
+              (List.length comparison)
+          end;
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(
+      ret (const run $ file_arg $ configs_arg $ domains_arg $ json_arg $ verify_arg $ chrome_arg))
+
+let trace_diff_cmd =
+  let doc =
+    "Compare two recorded traces event by event and report the first divergence with a \
+     window of the shared schedule before it.  Exits 1 when the traces diverge (like diff)."
+  in
+  let left_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT" ~doc:"first trace file")
+  in
+  let right_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT" ~doc:"second trace file")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt int Trace.Diff.default_window
+      & info [ "window" ] ~docv:"N" ~doc:"shared-schedule context events to show")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"emit raceguard-trace-diff/1 JSON") in
+  let run left right window json =
+    match (load_trace left, load_trace right) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok a, Ok b ->
+        if json then
+          print_endline (Obs.Json.to_string ~indent:2 (Raceguard.Trace_ops.diff_json a b))
+        else (
+          match Trace.Diff.first_divergence ~window a b with
+          | None ->
+              Printf.printf "traces identical: %d events\n" (Trace.Reader.length a)
+          | Some d -> Fmt.pr "%a@." Trace.Diff.pp_divergence d);
+        (match Trace.Diff.first_divergence a b with None -> () | Some _ -> exit 1);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc)
+    Term.(ret (const run $ left_arg $ right_arg $ window_arg $ json_arg))
+
+let trace_info_cmd =
+  let doc = "Show a recorded trace's header, meta, tables and event-kind histogram." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"trace file")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"emit raceguard-trace-info/1 JSON") in
+  let run file json =
+    match load_trace file with
+    | Error e -> `Error (false, e)
+    | Ok trace ->
+        if json then
+          print_endline (Obs.Json.to_string ~indent:2 (Raceguard.Trace_ops.info_json trace))
+        else Fmt.pr "%a@." Raceguard.Trace_ops.pp_info trace;
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "info" ~doc) Term.(ret (const run $ file_arg $ json_arg))
+
+let trace_cmd =
+  let doc = "Record, replay, diff and inspect raceguard-trace/1 binary traces." in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [ trace_record_cmd; trace_replay_cmd; trace_diff_cmd; trace_info_cmd ]
 
 let json_check_cmd =
   let doc =
@@ -264,4 +549,7 @@ let json_check_cmd =
 let () =
   let doc = "Reproduce the tables and figures of the paper." in
   let info = Cmd.info "raceguard-experiments" ~version:"0.9" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; explain_cmd; chaos_cmd; json_check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; explain_cmd; chaos_cmd; trace_cmd; json_check_cmd ]))

@@ -44,6 +44,10 @@ type config = {
       (** worker domains for the cell grid; 1 = sequential, 0 = pick
           from [Domain.recommended_domain_count] — must not change any
           digest either (pinned by test and the CI par-smoke step) *)
+  record_dir : string option;
+      (** when set, every cell also records a [raceguard-trace/1]
+          binary trace into [<dir>/<plan>-<test>-<res|base>.rgt]; the
+          recorder is a pure observer, so digests are unchanged *)
 }
 
 (** The resilience knobs used by every resilient cell: an aggressive
@@ -61,6 +65,7 @@ let default =
     fast_path = true;
     max_ops = 4_000_000;
     domains = 1;
+    record_dir = None;
   }
 
 (** The CI smoke subset: three representative plans (datagram loss,
@@ -209,6 +214,22 @@ let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_c
       faults = Some inj;
     }
   in
+  let recorder =
+    match config.record_dir with
+    | None -> None
+    | Some _ ->
+        Some
+          (Det.Offline.create_recorder
+             ~meta:
+               [
+                 ("workload", tc.tc_name);
+                 ("plan", plan.p_name);
+                 ("resilient", string_of_bool resilient);
+                 ("seed", string_of_int config.seed);
+                 ("generator", "raceguard-chaos");
+               ]
+             ())
+  in
   let runner =
     {
       Runner.default with
@@ -217,6 +238,7 @@ let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_c
         [ ("HWLC+DR", { Det.Helgrind.hwlc_dr with fast_path = config.fast_path }) ];
       max_ops = config.max_ops;
       faults = Some inj;
+      recorder;
     }
   in
   let result, value =
@@ -241,6 +263,15 @@ let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_c
           cr_retransmits = 0;
         }
   in
+  (match (config.record_dir, recorder) with
+  | Some dir, Some r ->
+      let file =
+        Printf.sprintf "%s-%s-%s.rgt" plan.p_name
+          (String.lowercase_ascii tc.tc_name)
+          (if resilient then "res" else "base")
+      in
+      Det.Offline.to_file r (Filename.concat dir file)
+  | _ -> ());
   let oracles = run_oracles ~plan ~cr ~outcome:result.Runner.outcome in
   let violations =
     List.filter_map (fun o -> if o.o_ok then None else Some (o.o_name ^ ": " ^ o.o_detail)) oracles

@@ -19,6 +19,10 @@ type config = {
       (** worker domains for the cell grid (work-stealing pool,
           [lib/par/]); 1 = sequential, 0 = auto — guaranteed not to
           change digests either *)
+  record_dir : string option;
+      (** when set, every cell also records a [raceguard-trace/1]
+          binary trace into [<dir>/<plan>-<test>-<res|base>.rgt]; the
+          recorder is a pure observer, so digests are unchanged *)
 }
 
 val default : config

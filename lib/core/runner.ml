@@ -27,6 +27,9 @@ type config = {
       (** offered every VM event and every detector decision *)
   faults : Raceguard_faults.Injector.t option;
       (** fault injector consulted by the engine's spawn/lock hooks *)
+  recorder : Det.Offline.recorder option;
+      (** binary trace recorder attached alongside the detectors: the
+          record mode of the offline plane *)
 }
 
 let default =
@@ -46,6 +49,7 @@ let default =
     max_ops = 50_000_000;
     tracer = None;
     faults = None;
+    recorder = None;
   }
 
 type result = {
@@ -72,6 +76,9 @@ let run_main config main =
     }
   in
   let vm = Vm.Engine.create ~config:vm_config () in
+  (match config.recorder with
+  | Some r -> Vm.Engine.add_tool vm (Det.Offline.tool r)
+  | None -> ());
   let helgrind =
     List.map (fun (name, hc) -> (name, Det.Helgrind.create hc)) config.helgrind_configs
   in

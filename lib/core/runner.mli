@@ -29,6 +29,11 @@ type config = {
       (** fault injector handed to the engine (spawn-delay and
           lock-delay faults); share the instance wired into the
           transport and server config for one coherent plan *)
+  recorder : Det.Offline.recorder option;
+      (** binary trace recorder attached alongside the detectors: the
+          record mode of the offline plane.  Recording is a pure
+          observer — schedule, RNG draws and detector reports are
+          unchanged by its presence. *)
 }
 
 val default : config

@@ -5,76 +5,196 @@
     they still need logging of the execution trace.  Hence, offline
     techniques suffer from their need for large amounts of data."
 
-    A {!recorder} is a VM tool that logs every event {e together with}
-    the introspection data a detector would have queried live (call
-    stack, heap block, clock).  {!replay} then feeds any detector tool
-    the recorded stream through a synthetic context.  The recorder's
+    A {!recorder} is the compact binary recorder of {!Raceguard_trace}:
+    a VM tool that streams every event {e together with} the
+    introspection data a detector would have queried live (call stack,
+    heap block, clock) into a [raceguard-trace/1] byte stream —
+    interned tables, varint encoding, CRC-guarded footer.  {!replay}
+    then feeds any detector tool the decoded stream through the
+    synthetic context of {!Raceguard_trace.Reader}.  The recorder's
     [footprint_words] makes the space cost measurable — the trade-off
-    experiment of §4.5. *)
+    experiment of §4.5 — and is now the cost of the {e encoded} log,
+    not of an in-memory object graph.
+
+    The {!sink} registry names the eight detector configurations the
+    replay plane drives (the bench subjects plus the §5 annotation
+    extension); {!replay_config} is the pure per-config cell the
+    parallel fan-out in [lib/core] maps across domains. *)
 
 module Vm = Raceguard_vm
 module Loc = Raceguard_util.Loc
-module Growvec = Raceguard_util.Growvec
+module Json = Raceguard_obs.Json
+module Trace = Raceguard_trace
 
-type entry = {
-  event : Vm.Event.t;
-  stack : Loc.t list;
-  thread_name : string;
-  block : Vm.Memory.block option;
-  clock : int;
+(* --- recording ------------------------------------------------------ *)
+
+type recorder = { writer : Trace.Writer.t }
+
+let create_recorder ?snapshot_every ?meta () =
+  { writer = Trace.Writer.create ?snapshot_every ?meta () }
+
+let tool r = Trace.Writer.tool r.writer
+let length r = Trace.Writer.event_count r.writer
+let writer r = r.writer
+let contents r = Trace.Writer.contents r.writer
+let to_file r path = Trace.Writer.to_file r.writer path
+
+(** Space cost of the encoded log, in words — the paper's "heavy memory
+    usage" of offline analysis, made concrete (and, with the interned
+    binary format, small). *)
+let footprint_words r =
+  (Trace.Writer.byte_size r.writer + (Sys.word_size / 8) - 1) / (Sys.word_size / 8)
+
+let decode r =
+  match Trace.Reader.of_string (contents r) with
+  | Ok t -> t
+  | Error (`Msg m) -> invalid_arg ("Offline.decode: " ^ m)
+
+(** Feed the recorded trace through a tool, post mortem. *)
+let replay r (tool : Vm.Tool.t) = Trace.Reader.replay (decode r) [ tool ]
+
+(* --- the detector sink registry ------------------------------------- *)
+
+(** One detector instance behind a uniform face: the replay plane can
+    drive any of them and read back counts, dedup signatures and
+    rendered occurrences without knowing which algorithm it is. *)
+type sink = {
+  sk_name : string;
+  sk_config : Json.t;  (** full configuration, echoed into JSON outputs *)
+  sk_tool : Vm.Tool.t;
+  sk_occurrences : unit -> Report.t list;
+  sk_locations : unit -> (Report.t * int) list;
 }
 
-type recorder = { entries : entry Growvec.t }
-
-let dummy_entry =
+let sink_of_helgrind name cfg =
+  let h = Helgrind.create cfg in
   {
-    event = Vm.Event.E_thread_exit { tid = -1 };
-    stack = [];
-    thread_name = "";
-    block = None;
-    clock = 0;
+    sk_name = name;
+    sk_config = Helgrind.config_to_json cfg;
+    sk_tool = Helgrind.tool h;
+    sk_occurrences = (fun () -> Helgrind.reports h);
+    sk_locations = (fun () -> Helgrind.locations h);
   }
 
-let create_recorder () = { entries = Growvec.create ~dummy:dummy_entry }
+let other_config detector = Json.Obj [ ("detector", Json.Str detector) ]
 
-let tool r =
-  Vm.Tool.make ~name:"trace-recorder" ~on_event:(fun (ctx : Vm.Tool.ctx) event ->
-      let tid = Vm.Event.tid event in
-      ignore
-        (Growvec.push r.entries
-           {
-             event;
-             stack = ctx.stack_of tid;
-             thread_name = ctx.thread_name tid;
-             block =
-               (match event with
-               | Vm.Event.E_read { addr; _ } | Vm.Event.E_write { addr; _ } -> ctx.block_of addr
-               | _ -> None);
-             clock = ctx.clock ();
-           }))
+(** The eight replayable configurations: the paper's Helgrind column
+    (original → HWLC → HWLC+DR → HWLC+DR+HB), the pure-Eraser ablation,
+    and the three surveyed baselines. *)
+let configs =
+  [
+    "helgrind-original";
+    "helgrind-hwlc";
+    "helgrind-hwlc+dr";
+    "helgrind-hwlc+dr+hb";
+    "eraser-pure";
+    "djit";
+    "racetrack";
+    "hybrid";
+  ]
 
-let length r = Growvec.length r.entries
+let sink = function
+  | "helgrind-original" -> sink_of_helgrind "helgrind-original" Helgrind.original
+  | "helgrind-hwlc" -> sink_of_helgrind "helgrind-hwlc" Helgrind.hwlc
+  | "helgrind-hwlc+dr" -> sink_of_helgrind "helgrind-hwlc+dr" Helgrind.hwlc_dr
+  | "helgrind-hwlc+dr+hb" -> sink_of_helgrind "helgrind-hwlc+dr+hb" Helgrind.hwlc_dr_hb
+  | "eraser-pure" -> sink_of_helgrind "eraser-pure" Helgrind.pure_eraser
+  | "djit" ->
+      let d = Djit.create () in
+      {
+        sk_name = "djit";
+        sk_config = other_config "djit";
+        sk_tool = Djit.tool d;
+        sk_occurrences = (fun () -> Djit.reports d);
+        sk_locations = (fun () -> Djit.locations d);
+      }
+  | "racetrack" ->
+      let r = Racetrack.create () in
+      {
+        sk_name = "racetrack";
+        sk_config = other_config "racetrack";
+        sk_tool = Racetrack.tool r;
+        sk_occurrences = (fun () -> Racetrack.reports r);
+        sk_locations = (fun () -> Racetrack.locations r);
+      }
+  | "hybrid" ->
+      let h = Hybrid.create () in
+      {
+        sk_name = "hybrid";
+        sk_config = other_config "hybrid";
+        sk_tool = Hybrid.tool h;
+        sk_occurrences = (fun () -> Hybrid.reports h);
+        sk_locations = (fun () -> Hybrid.locations h);
+      }
+  | name -> invalid_arg ("Offline.sink: unknown config " ^ name)
 
-(** Rough space cost of the log, in words — the paper's "heavy memory
-    usage" of offline analysis, made concrete. *)
-let footprint_words r =
-  Growvec.fold
-    (fun acc e ->
-      (* event record + stack spine + block pointer + name *)
-      acc + 8 + (4 * List.length e.stack) + (String.length e.thread_name / 8))
-    0 r.entries
+let sinks ?(configs = configs) () = List.map sink configs
 
-(** Feed a recorded trace through a tool, post mortem. *)
-let replay r (tool : Vm.Tool.t) =
-  Growvec.iter
-    (fun e ->
-      let ctx : Vm.Tool.ctx =
-        {
-          stack_of = (fun _ -> e.stack);
-          thread_name = (fun _ -> e.thread_name);
-          block_of = (fun _ -> e.block);
-          clock = (fun () -> e.clock);
-        }
-      in
-      tool.Vm.Tool.on_event ctx e.event)
-    r.entries
+(* --- verdicts: what a detector concluded, digested ------------------ *)
+
+let sig_string (r : Report.t) =
+  let kind, frames = Report.signature r in
+  Fmt.str "%a@%s" Report.pp_kind kind
+    (String.concat ";" (List.map (fun l -> Fmt.str "%a" Loc.pp l) frames))
+
+let digest_strings lines = Digest.to_hex (Digest.string (String.concat "\n" lines))
+
+(** MD5 over the sorted dedup signatures — the same digest the bench
+    and chaos fidelity gates use. *)
+let digest_signatures locations =
+  digest_strings (List.sort compare (List.map (fun (r, _) -> sig_string r) locations))
+
+(** MD5 over every occurrence rendered with {!Report.pp}, in
+    chronological order: byte-level equality of the full report stream,
+    not just of its dedup signatures. *)
+let digest_reports occurrences =
+  digest_strings (List.map (Fmt.str "%a" Report.pp) occurrences)
+
+type verdict = {
+  v_config : string;
+  v_events : int;  (** events fed to the detector *)
+  v_occurrences : int;
+  v_locations : int;  (** deduplicated — the Figure-6 metric *)
+  v_sig_digest : string;
+  v_report_digest : string;
+}
+
+let verdict_of_sink ~events s =
+  {
+    v_config = s.sk_name;
+    v_events = events;
+    v_occurrences = List.length (s.sk_occurrences ());
+    v_locations = List.length (s.sk_locations ());
+    v_sig_digest = digest_signatures (s.sk_locations ());
+    v_report_digest = digest_reports (s.sk_occurrences ());
+  }
+
+let verdict_to_json v =
+  Json.Obj
+    [
+      ("config", Json.Str v.v_config);
+      ("events", Json.int v.v_events);
+      ("occurrences", Json.int v.v_occurrences);
+      ("locations", Json.int v.v_locations);
+      ("sig_digest", Json.Str v.v_sig_digest);
+      ("report_digest", Json.Str v.v_report_digest);
+    ]
+
+let verdict_equal a b =
+  a.v_config = b.v_config && a.v_events = b.v_events
+  && a.v_occurrences = b.v_occurrences
+  && a.v_locations = b.v_locations
+  && a.v_sig_digest = b.v_sig_digest
+  && a.v_report_digest = b.v_report_digest
+
+(** Drive one named configuration over a decoded trace.  Pure in the
+    sense the parallel runner needs: a fresh detector instance per
+    call, no shared state — one cell of the replay fan-out. *)
+let replay_config trace name =
+  let s = sink name in
+  Trace.Reader.replay trace [ s.sk_tool ];
+  verdict_of_sink ~events:(Trace.Reader.length trace) s
+
+(** Sequential replay of several configurations (the parallel version
+    lives in [lib/core], on the work-stealing pool). *)
+let replay_all ?(configs = configs) trace = List.map (replay_config trace) configs

@@ -52,7 +52,11 @@ let offered t = t.tick
 let recorded t = t.recorded
 let dropped t = max 0 (t.recorded - t.capacity)
 
-(* Oldest-first: once wrapped, the oldest live record sits at [next]. *)
+(* Oldest-first: once wrapped, the oldest live record sits at [next].
+   The final stable sort guarantees monotonic timestamps to consumers
+   (chrome://tracing silently misrenders out-of-order instants) even if
+   the slot walk and the emit order ever disagree; on the already-sorted
+   common case it is a single O(n) pass. *)
 let records t =
   let out = ref [] in
   let start = if t.recorded >= t.capacity then t.next else 0 in
@@ -61,7 +65,7 @@ let records t =
     | Some r -> out := r :: !out
     | None -> ()
   done;
-  !out
+  List.stable_sort (fun a b -> compare a.ts b.ts) !out
 
 let record_to_json r =
   Json.Obj

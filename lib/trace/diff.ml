@@ -1,0 +1,62 @@
+(** Structural diff of two decoded traces: find the first divergent
+    event and show it with a window of the shared schedule before it.
+
+    The intended use is cross-seed (or cross-config) comparison of the
+    same workload: the first divergence pinpoints where two schedules
+    split, which is usually the scheduling decision a seed-dependent
+    warning hinges on. *)
+
+module Vm = Raceguard_vm
+
+type divergence = {
+  d_index : int;  (** index of the first event that differs *)
+  d_left : Reader.entry option;
+  d_right : Reader.entry option;
+  d_context : Reader.entry list;  (** up to [window] shared events before the split *)
+}
+
+let entry_equal (a : Reader.entry) (b : Reader.entry) =
+  a.en_event = b.en_event && a.en_clock = b.en_clock && a.en_stack = b.en_stack
+  && a.en_thread = b.en_thread
+
+let default_window = 8
+
+(** [first_divergence a b] is [None] when the traces are
+    event-identical (same events, clocks, stacks, thread names, same
+    length). *)
+let first_divergence ?(window = default_window) a b =
+  let ea = Reader.entries a and eb = Reader.entries b in
+  let na = Array.length ea and nb = Array.length eb in
+  let rec go i =
+    if i >= na && i >= nb then None
+    else if i >= na || i >= nb || not (entry_equal ea.(i) eb.(i)) then
+      let context =
+        let lo = max 0 (i - window) in
+        Array.to_list (Array.sub ea lo (min i na - lo))
+      in
+      Some
+        {
+          d_index = i;
+          d_left = (if i < na then Some ea.(i) else None);
+          d_right = (if i < nb then Some eb.(i) else None);
+          d_context = context;
+        }
+    else go (i + 1)
+  in
+  go 0
+
+let pp_entry ppf (e : Reader.entry) =
+  Fmt.pf ppf "@[<h>#%d clk=%d [%s] %a@]" e.en_index e.en_clock e.en_thread Vm.Event.pp
+    e.en_event
+
+let pp_side ppf = function
+  | Some e -> pp_entry ppf e
+  | None -> Fmt.string ppf "<trace ends here>"
+
+let pp_divergence ppf d =
+  Fmt.pf ppf "@[<v>first divergence at event %d@," d.d_index;
+  if d.d_context <> [] then begin
+    Fmt.pf ppf "shared schedule before the split:@,";
+    List.iter (fun e -> Fmt.pf ppf "  %a@," pp_entry e) d.d_context
+  end;
+  Fmt.pf ppf "left:  %a@,right: %a@]" pp_side d.d_left pp_side d.d_right

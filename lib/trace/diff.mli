@@ -1,0 +1,18 @@
+(** Structural diff of two decoded traces. *)
+
+type divergence = {
+  d_index : int;  (** index of the first event that differs *)
+  d_left : Reader.entry option;  (** [None]: the left trace ended first *)
+  d_right : Reader.entry option;
+  d_context : Reader.entry list;  (** up to [window] shared events before the split *)
+}
+
+val default_window : int
+
+val first_divergence : ?window:int -> Reader.t -> Reader.t -> divergence option
+(** [None] when the traces are event-identical (events, clocks, stacks,
+    thread names, length). *)
+
+val entry_equal : Reader.entry -> Reader.entry -> bool
+val pp_entry : Format.formatter -> Reader.entry -> unit
+val pp_divergence : Format.formatter -> divergence -> unit

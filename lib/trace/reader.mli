@@ -1,0 +1,53 @@
+(** Decoder and replay driver for [raceguard-trace/1] traces.
+
+    Decoding validates the whole container up front (magics, version,
+    schema, CRC-32 footer, end-record counts) and rejects truncated or
+    corrupt input with a descriptive error.  {!replay} then drives any
+    set of VM tools over the decoded stream through a synthesised
+    {!Raceguard_vm.Tool.ctx} that answers introspection queries from
+    the recorded per-event data — no VM, no re-execution. *)
+
+module Vm = Raceguard_vm
+module Loc = Raceguard_util.Loc
+
+type entry = {
+  en_index : int;  (** 0-based position in the event stream *)
+  en_offset : int;  (** byte offset of the event record's tag *)
+  en_event : Vm.Event.t;
+  en_clock : int;
+  en_stack : Loc.t list;  (** acting thread's call stack at the event *)
+  en_thread : string;  (** acting thread's name *)
+  en_block : Vm.Memory.block option;
+      (** reads/writes: the heap block containing the address *)
+}
+
+type snapshot_mark = {
+  sn_offset : int;  (** byte offset of the marker *)
+  sn_index : int;  (** events before this marker *)
+  sn_clock : int;
+  sn_strings : int;
+  sn_locs : int;
+  sn_stacks : int;
+  sn_blocks : int;
+}
+
+type t
+
+val of_string : string -> (t, [ `Msg of string ]) result
+val of_file : string -> (t, [ `Msg of string ]) result
+
+val version : t -> int
+val schema : t -> string
+val meta : t -> (string * string) list
+val meta_find : t -> string -> string option
+val entries : t -> entry array
+val length : t -> int
+val snapshots : t -> snapshot_mark list
+val byte_size : t -> int
+
+val replay : ?on_event:(entry -> unit) -> t -> Vm.Tool.t list -> unit
+(** Feed every entry to each tool, in order.  The ctx seen by the tools
+    answers [stack_of]/[thread_name]/[block_of]/[clock] from the
+    recorded data, so a detector replayed here observes exactly what it
+    would have observed live.  [on_event] fires before the tools see
+    each entry. *)

@@ -1,0 +1,68 @@
+(** Streaming encoder for [raceguard-trace/1] binary traces.
+
+    Record mode: attach {!tool} to a VM run and every event is appended
+    to an in-memory stream together with the introspection data a live
+    detector would have queried (clock, acting thread's call stack and
+    name, accessed heap block) — zero analysis at record time.  The
+    interned string/location/stack/block tables keep the encoding
+    compact; periodic snapshot markers give readers seek points.
+    {!contents} seals the stream with an event-count end record and a
+    CRC-32-guarded footer. *)
+
+module Vm = Raceguard_vm
+module Loc = Raceguard_util.Loc
+
+val schema : string
+(** ["raceguard-trace/1"]. *)
+
+val magic_head : string
+val magic_tail : string
+val version : int
+
+(** Record tags (decoder contract; events use [tag_event + kind_id]). *)
+
+val tag_sdef : int
+val tag_ldef : int
+val tag_kdef : int
+val tag_bdef : int
+val tag_snap : int
+val tag_end : int
+val tag_event : int
+
+val default_snapshot_every : int
+
+type t
+
+val create : ?snapshot_every:int -> ?meta:(string * string) list -> unit -> t
+(** [meta] is a list of free-form (key, value) pairs stored in the
+    header — seed, workload, detector config, anything a replay needs
+    to be self-describing. *)
+
+val add_entry :
+  t ->
+  event:Vm.Event.t ->
+  clock:int ->
+  stack:Loc.t list ->
+  thread_name:string ->
+  block:Vm.Memory.block option ->
+  unit
+(** Append one event with its captured tool-context data.  [clock]
+    must be monotonic.  [block] is only encoded for reads/writes. *)
+
+val add_event : t -> Vm.Tool.ctx -> Vm.Event.t -> unit
+(** {!add_entry} with the context data pulled from a live VM [ctx]. *)
+
+val tool : t -> Vm.Tool.t
+(** The recorder as a VM tool (named ["trace-recorder"]). *)
+
+val event_count : t -> int
+val snapshot_count : t -> int
+
+val byte_size : t -> int
+(** Bytes written so far (header + body, without the footer). *)
+
+val contents : t -> string
+(** The complete trace: body + end record + CRC footer.
+    Non-destructive — the writer remains usable afterwards. *)
+
+val to_file : t -> string -> unit

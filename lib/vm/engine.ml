@@ -283,34 +283,13 @@ let tool_ctx t : Tool.ctx =
       t.cached_ctx <- Some ctx;
       ctx
 
-(* Static per-constructor names so tracing never renders an event it
-   is not going to sample. *)
-let event_trace_name : Event.t -> string = function
-  | Event.E_thread_start _ -> "thread_start"
-  | E_thread_exit _ -> "thread_exit"
-  | E_spawn _ -> "spawn"
-  | E_join _ -> "join"
-  | E_read _ -> "read"
-  | E_write _ -> "write"
-  | E_alloc _ -> "alloc"
-  | E_free _ -> "free"
-  | E_sync_create _ -> "sync_create"
-  | E_acquire _ -> "acquire"
-  | E_release _ -> "release"
-  | E_cond_signal _ -> "cond_signal"
-  | E_cond_wait_pre _ -> "cond_wait_pre"
-  | E_cond_wait_post _ -> "cond_wait_post"
-  | E_sem_post _ -> "sem_post"
-  | E_sem_wait_post _ -> "sem_wait_post"
-  | E_client _ -> "client_request"
-
 let emit t event =
   Metrics.incr m_events;
   if t.config.trace_events then ignore (Growvec.push t.trace event);
   (match t.config.tracer with
   | None -> ()
   | Some tr ->
-      Trace.emit tr ~ts:t.clock ~tid:(Event.tid event) ~name:(event_trace_name event) ~cat:"vm" ());
+      Trace.emit tr ~ts:t.clock ~tid:(Event.tid event) ~name:(Event.kind_name event) ~cat:"vm" ());
   let ctx = tool_ctx t in
   List.iter (fun (tool : Tool.t) -> tool.on_event ctx event) t.tools
 

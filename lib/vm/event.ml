@@ -40,6 +40,51 @@ type t =
   | E_sem_wait_post of { tid : int; sem : int; loc : Loc.t }
   | E_client of { tid : int; req : Eff.client_request; loc : Loc.t }
 
+(** Stable small integer per constructor — the binary trace codec's
+    event tag ([lib/trace/]).  Appending new constructors is fine;
+    renumbering existing ones breaks every recorded trace. *)
+let kind_id = function
+  | E_thread_start _ -> 0
+  | E_thread_exit _ -> 1
+  | E_spawn _ -> 2
+  | E_join _ -> 3
+  | E_read _ -> 4
+  | E_write _ -> 5
+  | E_alloc _ -> 6
+  | E_free _ -> 7
+  | E_sync_create _ -> 8
+  | E_acquire _ -> 9
+  | E_release _ -> 10
+  | E_cond_signal _ -> 11
+  | E_cond_wait_pre _ -> 12
+  | E_cond_wait_post _ -> 13
+  | E_sem_post _ -> 14
+  | E_sem_wait_post _ -> 15
+  | E_client _ -> 16
+
+(** Static per-constructor names (no rendering cost), used by the ring
+    tracer, the Chrome exporter and the trace-info histogram. *)
+let kind_name = function
+  | E_thread_start _ -> "thread_start"
+  | E_thread_exit _ -> "thread_exit"
+  | E_spawn _ -> "spawn"
+  | E_join _ -> "join"
+  | E_read _ -> "read"
+  | E_write _ -> "write"
+  | E_alloc _ -> "alloc"
+  | E_free _ -> "free"
+  | E_sync_create _ -> "sync_create"
+  | E_acquire _ -> "acquire"
+  | E_release _ -> "release"
+  | E_cond_signal _ -> "cond_signal"
+  | E_cond_wait_pre _ -> "cond_wait_pre"
+  | E_cond_wait_post _ -> "cond_wait_post"
+  | E_sem_post _ -> "sem_post"
+  | E_sem_wait_post _ -> "sem_wait_post"
+  | E_client _ -> "client_request"
+
+let kind_count = 17
+
 let tid = function
   | E_thread_start { tid; _ }
   | E_thread_exit { tid }

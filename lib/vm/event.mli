@@ -42,4 +42,15 @@ type t =
 val tid : t -> int
 (** The thread an event is attributed to. *)
 
+val kind_id : t -> int
+(** Stable small integer per constructor — the binary trace codec's
+    event tag.  Never renumbered (recorded traces depend on it). *)
+
+val kind_name : t -> string
+(** Static per-constructor name (no rendering cost): ring tracer,
+    Chrome export, trace-info histograms. *)
+
+val kind_count : int
+(** Number of constructors ([kind_id] is in [0 .. kind_count-1]). *)
+
 val pp : Format.formatter -> t -> unit

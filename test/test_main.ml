@@ -19,6 +19,7 @@ let () =
       Test_fastpath.suite;
       Test_static.suite;
       Test_obs.suite;
+      Test_trace.suite;
       Test_par.suite;
       Test_experiments.suite;
     ]

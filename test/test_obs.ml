@@ -120,6 +120,23 @@ let test_trace_ring_overwrites_oldest () =
     [ 13; 14; 15; 16; 17; 18; 19; 20 ]
     (List.map (fun (r : Trace.record) -> r.ts) (Trace.records t))
 
+let test_trace_wrap_monotonic_export () =
+  (* merged event sources can offer out-of-order timestamps; after the
+     ring wraps, the Chrome export must still come out in monotonic ts
+     order (trace viewers silently drop unsorted events) *)
+  let t = Trace.create ~capacity:4 () in
+  List.iter (fun ts -> Trace.emit t ~ts ~tid:0 ~name:"e" ~cat:"vm" ()) [ 5; 1; 9; 3; 7; 2 ];
+  (* ring keeps the last four offers: 9, 3, 7, 2 *)
+  let ts_of rs = List.map (fun (r : Trace.record) -> r.ts) rs in
+  Alcotest.(check (list int)) "records sorted by ts after wrap" [ 2; 3; 7; 9 ]
+    (ts_of (Trace.records t));
+  let j = get_exn (Json.parse (Trace.to_string t)) in
+  let events = Option.get (Json.to_list_opt (member_exn "traceEvents" j)) in
+  let exported =
+    List.map (fun e -> Option.get (Json.to_float_opt (member_exn "ts" e))) events
+  in
+  Alcotest.(check (list (float 0.))) "export is monotonic" [ 2.; 3.; 7.; 9. ] exported
+
 let test_trace_sampling_deterministic () =
   let one () =
     let t = Trace.create ~capacity:64 ~sample:3 () in
@@ -223,6 +240,8 @@ let suite =
       QCheck_alcotest.to_alcotest qc_diff_recovers;
       Alcotest.test_case "trace JSON round-trips" `Quick test_trace_roundtrip;
       Alcotest.test_case "ring overwrites oldest-first" `Quick test_trace_ring_overwrites_oldest;
+      Alcotest.test_case "wrapped ring exports monotonic ts" `Quick
+        test_trace_wrap_monotonic_export;
       Alcotest.test_case "sampling is deterministic" `Quick test_trace_sampling_deterministic;
       Alcotest.test_case "metrics JSON parses back" `Quick test_metrics_json_parses;
       Alcotest.test_case "provenance stable across fast path" `Slow
