@@ -19,6 +19,7 @@ type config = {
   helgrind_configs : (string * Det.Helgrind.config) list;
       (** configurations run side by side on the same event stream *)
   run_djit : bool;
+  run_fasttrack : bool;
   run_lock_order : bool;
   server : Sip.Proxy.config;
   trace_events : bool;
@@ -43,6 +44,7 @@ let default =
         ("HWLC+DR", Det.Helgrind.hwlc_dr);
       ];
     run_djit = false;
+    run_fasttrack = false;
     run_lock_order = false;
     server = { Sip.Proxy.default_config with annotate = true };
     trace_events = false;
@@ -55,6 +57,7 @@ let default =
 type result = {
   helgrind : (string * Det.Helgrind.t) list;
   djit : Det.Djit.t option;
+  fasttrack : Det.Fasttrack.t option;
   lock_order : Det.Lock_order.t option;
   outcome : Vm.Engine.outcome;
   oracle : Sip.Workload.run_result option;
@@ -95,6 +98,14 @@ let run_main config main =
     end
     else None
   in
+  let fasttrack =
+    if config.run_fasttrack then begin
+      let f = Det.Fasttrack.create () in
+      Vm.Engine.add_tool vm (Det.Fasttrack.tool f);
+      Some f
+    end
+    else None
+  in
   let lock_order =
     if config.run_lock_order then begin
       let l = Det.Lock_order.create () in
@@ -109,7 +120,16 @@ let run_main config main =
   let outcome = Vm.Engine.run vm (fun () -> value := Some (main ())) in
   let wall = Unix.gettimeofday () -. t0 in
   let metrics = Obs.Metrics.diff ~before (Obs.Metrics.snapshot ()) in
-  ( { helgrind; djit; lock_order; outcome; oracle = None; wall_seconds = wall; metrics },
+  ( {
+      helgrind;
+      djit;
+      fasttrack;
+      lock_order;
+      outcome;
+      oracle = None;
+      wall_seconds = wall;
+      metrics;
+    },
     !value )
 
 (** Run one of the eight SIP test cases. *)

@@ -18,6 +18,7 @@ type config = {
   helgrind_configs : (string * Det.Helgrind.config) list;
       (** named configurations run side by side *)
   run_djit : bool;
+  run_fasttrack : bool;  (** epoch-based HB detector alongside (or instead) *)
   run_lock_order : bool;
   server : Sip.Proxy.config;
   trace_events : bool;
@@ -43,6 +44,7 @@ val default : config
 type result = {
   helgrind : (string * Det.Helgrind.t) list;
   djit : Det.Djit.t option;
+  fasttrack : Det.Fasttrack.t option;
   lock_order : Det.Lock_order.t option;
   outcome : Vm.Engine.outcome;
   oracle : Sip.Workload.run_result option;

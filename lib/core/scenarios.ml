@@ -168,6 +168,49 @@ let read_shared ?(threads = 4) ?(iters = 500) ?(words = 16) () =
   in
   List.iter (Api.join ~loc:(lc "main" 15)) tids
 
+(** Read-shared churn: fork-join rounds of concurrent readers followed
+    by single-threaded sweeps by main.  Each round promotes every word
+    into the read-shared representation (genuinely concurrent readers);
+    the post-join sweeps are ordered after all of them, so an adaptive
+    epoch detector can demote the words back to a single read epoch
+    before the next round re-promotes them.  Race-free — the
+    promote/demote cycle is exercised end to end with every detector
+    silent. *)
+let read_shared_churn ?(threads = 4) ?(rounds = 6) ?(iters = 120) ?(words = 16) () =
+  let lc f line = Loc.v "readchurn.cpp" f line in
+  let base = Api.alloc ~loc:(lc "main" 3) words in
+  for i = 0 to words - 1 do
+    Api.write ~loc:(lc "main" 5) (base + i) i
+  done;
+  for round = 1 to rounds do
+    let reader k () =
+      Api.with_frame (lc "reader" 8) @@ fun () ->
+      let acc = ref 0 in
+      for i = 0 to iters - 1 do
+        acc := !acc + Api.read ~loc:(lc "reader" 11) (base + ((k + i) mod words))
+      done;
+      ignore !acc
+    in
+    let tids =
+      List.init threads (fun k ->
+          Api.spawn ~loc:(lc "main" 14)
+            ~name:(Printf.sprintf "churn%d.%d" round k)
+            (reader k))
+    in
+    List.iter (Api.join ~loc:(lc "main" 15)) tids;
+    (* the demotion window: main is ordered after every reader, and the
+       repeated sweeps keep each word hot enough for a periodic
+       dominance check to land while the window is open — 16 passes
+       make the window wider than the default check cadence relative to
+       the per-round access count, so demotion is guaranteed, not
+       schedule-lucky *)
+    for _pass = 1 to 16 do
+      for i = 0 to words - 1 do
+        ignore (Api.read ~loc:(lc "main" 18) (base + i))
+      done
+    done
+  done
+
 (** Lock-order inversion that does not necessarily deadlock at runtime
     (the predictive detector must still flag it), plus a knob to force
     the actual deadlock. *)

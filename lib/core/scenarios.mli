@@ -30,6 +30,13 @@ val read_shared : ?threads:int -> ?iters:int -> ?words:int -> unit -> unit
 (** Initialise once, then lock-free concurrent readers — the Shared-RO
     steady state. *)
 
+val read_shared_churn :
+  ?threads:int -> ?rounds:int -> ?iters:int -> ?words:int -> unit -> unit
+(** Fork-join rounds of concurrent readers, each followed by
+    single-threaded sweeps: race-free promote/demote churn for adaptive
+    epoch detectors (every round re-promotes; every join opens a
+    demotion window). *)
+
 val lock_order_inversion : force_deadlock:bool -> unit -> unit
 (** Two locks taken in opposite orders; [force_deadlock] arranges the
     overlap so the run actually deadlocks. *)

@@ -5,7 +5,7 @@
     - {!record_test} runs a SIP test case once with the compact binary
       recorder attached (zero analysis unless live verification sinks
       are requested) and returns the sealed trace;
-    - {!replay_parallel} drives any subset of the eight registry
+    - {!replay_parallel} drives any subset of the ten registry
       configurations over a decoded trace, optionally fanned across
       domains with the work-stealing pool — detector instances are
       per-cell, so verdicts are identical for any domain count;

@@ -43,7 +43,11 @@ type cell = {
 type t = {
   config : config;
   clocks : Hb_clocks.t;  (** shared happens-before machinery *)
-  shadow : (int, cell) Hashtbl.t;
+  mutable shadow : cell array;
+      (** dense, indexed by word address — the VM allocator hands out
+          dense word indices, so a direct-mapped array (as in
+          {!Helgrind}) beats hashing on every access {e and} makes
+          allocation-range re-initialisation a plain sweep *)
   collector : Report.collector;
 }
 
@@ -59,7 +63,7 @@ let create ?(config = default_config) ?(suppressions = []) () =
             sync_on_annotations = config.sync_on_annotations;
           }
         ();
-    shadow = Hashtbl.create 65536;
+    shadow = [||];
     collector = Report.collector ~suppressions ();
   }
 
@@ -70,13 +74,19 @@ let collector t = t.collector
 
 let thread_vc t tid = Hb_clocks.thread_vc t.clocks tid
 
+let fresh_cell () = { last_write = None; reads = []; dead = false }
+
 let cell t addr =
-  match Hashtbl.find_opt t.shadow addr with
-  | Some c -> c
-  | None ->
-      let c = { last_write = None; reads = []; dead = false } in
-      Hashtbl.replace t.shadow addr c;
-      c
+  let n = Array.length t.shadow in
+  if addr >= n then begin
+    let a =
+      Array.init
+        (max 4096 (max (2 * n) (addr + 1)))
+        (fun i -> if i < n then Array.unsafe_get t.shadow i else fresh_cell ())
+    in
+    t.shadow <- a
+  end;
+  Array.unsafe_get t.shadow addr
 
 let report t (ctx : Vm.Tool.ctx) ~kind ~tid ~addr ~loc ~(prev : last_access) =
   let block =
@@ -146,9 +156,16 @@ let check_write t ctx ~tid ~addr ~loc =
     does not update any state.  [write] selects whether previous reads
     conflict too. *)
 let unordered_now t ~tid ~addr ~write =
-  match Hashtbl.find_opt t.shadow addr with
-  | None -> false
-  | Some c ->
+  if addr >= Array.length t.shadow then false
+  else
+    let c = Array.unsafe_get t.shadow addr in
+    if c.dead then
+      (* once [first_only] kills a cell its [last_write]/[reads] stop
+         being maintained; answering from that stale state would keep
+         gating composed (hybrid) warnings on an access that may long
+         since have been ordered — dead cells answer [false] *)
+      false
+    else
       let me = thread_vc t tid in
       let unordered (a : last_access) =
         a.a_tid <> tid && not (Vc.ordered_before ~tid:a.a_tid ~clk:a.a_clk me)
@@ -162,13 +179,15 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
   | E_read { tid; addr; loc; _ } -> check_read t ctx ~tid ~addr ~loc
   | E_write { tid; addr; loc; _ } -> check_write t ctx ~tid ~addr ~loc
   | E_alloc { addr; len; _ } ->
-      for a = addr to addr + len - 1 do
-        match Hashtbl.find_opt t.shadow a with
-        | Some c ->
-            c.last_write <- None;
-            c.reads <- [];
-            c.dead <- false
-        | None -> ()
+      (* range clear on the dense shadow (one array sweep, no hashing;
+         the old Hashtbl shadow paid one probe per byte of every
+         allocation); slots past the frontier are already fresh *)
+      let n = Array.length t.shadow in
+      for a = addr to min (addr + len - 1) (n - 1) do
+        let c = Array.unsafe_get t.shadow a in
+        c.last_write <- None;
+        c.reads <- [];
+        c.dead <- false
       done
   | E_thread_start _ | E_thread_exit _ | E_join _ | E_spawn _ | E_free _ | E_sync_create _
   | E_acquire _ | E_release _ | E_cond_signal _ | E_cond_wait_pre _ | E_cond_wait_post _

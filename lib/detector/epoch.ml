@@ -1,0 +1,43 @@
+(** Packed FastTrack epochs.
+
+    An epoch is one access stamp [tid × clk] packed into a single
+    immediate integer, so the overwhelmingly common "did this access
+    happen-before me?" test is one unboxed compare instead of a
+    vector-clock walk — FastTrack's key observation (Flanagan & Freund,
+    surveyed in PAPERS.md): almost every access is non-racy and can be
+    decided against a {e single} previous access, not a whole clock.
+
+    Layout: [clk lsl tid_bits | (tid + 1)].  The +1 keeps 0 free as the
+    distinguished "no access" epoch, so a fresh shadow cell is
+    all-zeros and range-clearing an allocation is a plain int store per
+    word.  OCaml's 63-bit ints leave 50 bits of clock at 12 bits of
+    tid — both far beyond what the deterministic VM can retire. *)
+
+type t = int
+
+let tid_bits = 12
+
+(** Largest representable thread id ([tid + 1] must fit). *)
+let max_tid = (1 lsl tid_bits) - 2
+
+let tid_mask = (1 lsl tid_bits) - 1
+
+(** The "no access yet" epoch — compares unequal to every real one. *)
+let none = 0
+
+let is_none e = e = 0
+
+let make ~tid ~clk =
+  if tid < 0 || tid > max_tid then invalid_arg "Epoch.make: tid out of range";
+  (clk lsl tid_bits) lor (tid + 1)
+
+let tid e = (e land tid_mask) - 1
+let clk e = e lsr tid_bits
+
+(** Is the access stamped [e] ordered before the clock state [vc]?
+    O(1): one array load in [vc].  [none] is vacuously ordered. *)
+let ordered_before e vc =
+  e = 0 || Vector_clock.ordered_before ~tid:(tid e) ~clk:(clk e) vc
+
+let pp ppf e =
+  if e = 0 then Fmt.string ppf "<none>" else Fmt.pf ppf "%d@%d" (clk e) (tid e)

@@ -1,0 +1,26 @@
+(** Packed FastTrack epochs: one access stamp [tid × clk] in a single
+    immediate int, so the common non-racy access is decided by an O(1)
+    compare instead of an O(n) vector-clock walk. *)
+
+type t = int
+(** [clk lsl tid_bits | (tid + 1)]; [0] is {!none}. *)
+
+val tid_bits : int
+val max_tid : int
+
+val none : t
+(** The "no access yet" epoch; all-zero shadow memory is valid. *)
+
+val is_none : t -> bool
+
+val make : tid:int -> clk:int -> t
+(** Raises [Invalid_argument] if [tid] exceeds {!max_tid}. *)
+
+val tid : t -> int
+val clk : t -> int
+
+val ordered_before : t -> Vector_clock.t -> bool
+(** Is the access stamped [e] happened-before the clock state? O(1).
+    {!none} is vacuously ordered. *)
+
+val pp : Format.formatter -> t -> unit

@@ -16,7 +16,10 @@ let default_config = { sync_on_cond = true; sync_on_sem = true; sync_on_annotati
 
 type t = {
   config : config;
-  threads : (int, Vc.t) Hashtbl.t;
+  mutable threads : Vc.t option array;
+      (** dense by tid — [thread_vc] runs once per memory access in
+          every vector-clock detector, so this lookup must be an array
+          load, not a hash probe *)
   mutexes : (int, Vc.t) Hashtbl.t;
   rwlocks : (int, Vc.t) Hashtbl.t;
   conds : (int, Vc.t) Hashtbl.t;
@@ -28,7 +31,7 @@ type t = {
 let create ?(config = default_config) () =
   {
     config;
-    threads = Hashtbl.create 64;
+    threads = [||];
     mutexes = Hashtbl.create 64;
     rwlocks = Hashtbl.create 16;
     conds = Hashtbl.create 16;
@@ -45,14 +48,30 @@ let vc_of tbl id =
       Hashtbl.replace tbl id vc;
       vc
 
+let set_thread_vc t tid vc =
+  let n = Array.length t.threads in
+  if tid >= n then begin
+    let a = Array.make (max 64 (max (2 * n) (tid + 1))) None in
+    Array.blit t.threads 0 a 0 n;
+    t.threads <- a
+  end;
+  t.threads.(tid) <- Some vc
+
 let thread_vc t tid =
-  match Hashtbl.find_opt t.threads tid with
-  | Some vc -> vc
-  | None ->
-      let vc = Vc.create () in
-      Vc.set vc tid 1;
-      Hashtbl.replace t.threads tid vc;
-      vc
+  if tid < Array.length t.threads then
+    match Array.unsafe_get t.threads tid with
+    | Some vc -> vc
+    | None ->
+        let vc = Vc.create () in
+        Vc.set vc tid 1;
+        t.threads.(tid) <- Some vc;
+        vc
+  else begin
+    let vc = Vc.create () in
+    Vc.set vc tid 1;
+    set_thread_vc t tid vc;
+    vc
+  end
 
 (** The accessing thread's current clock entry for itself — the stamp
     to record on a shadow cell. *)
@@ -81,7 +100,7 @@ let on_event t (e : Vm.Event.t) =
           let pvc = thread_vc t p in
           let child = Vc.copy pvc in
           Vc.incr child tid;
-          Hashtbl.replace t.threads tid child;
+          set_thread_vc t tid child;
           Vc.incr pvc p)
   | E_thread_exit { tid } -> Hashtbl.replace t.exited tid (Vc.copy (thread_vc t tid))
   | E_join { joiner; joined; _ } ->

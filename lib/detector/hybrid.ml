@@ -19,35 +19,67 @@
 
 module Vm = Raceguard_vm
 
+type gate_engine =
+  | Vector_clocks  (** full-VC {!Djit} gate — the historical default *)
+  | Epochs
+      (** {!Fasttrack} gate with adaptive read-vector demotion — same
+          answers (both probes implement the same unordered-now
+          question over equivalent state), cheaper per access *)
+
 type config = {
   helgrind : Helgrind.config;
   sync_on_cond : bool;  (** HB edges for condition variables *)
   sync_on_sem : bool;  (** HB edges for semaphores *)
+  gate : gate_engine;
 }
 
 let default_config =
-  { helgrind = Helgrind.hwlc_dr; sync_on_cond = true; sync_on_sem = true }
+  {
+    helgrind = Helgrind.hwlc_dr;
+    sync_on_cond = true;
+    sync_on_sem = true;
+    gate = Vector_clocks;
+  }
 
-type t = { lockset : Helgrind.t; hb : Djit.t }
+let epoch_config = { default_config with gate = Epochs }
+
+type engine = Vc of Djit.t | Ft of Fasttrack.t
+type t = { lockset : Helgrind.t; hb : engine }
 
 let create ?(config = default_config) ?(suppressions = []) () =
   let lockset = Helgrind.create ~suppressions config.helgrind in
   let hb =
-    Djit.create
-      ~config:
-        {
-          Djit.sync_on_cond = config.sync_on_cond;
-          sync_on_sem = config.sync_on_sem;
-          sync_on_annotations = true;
-          first_only = false;
-        }
-      ()
+    match config.gate with
+    | Vector_clocks ->
+        Vc
+          (Djit.create
+             ~config:
+               {
+                 Djit.sync_on_cond = config.sync_on_cond;
+                 sync_on_sem = config.sync_on_sem;
+                 sync_on_annotations = true;
+                 first_only = false;
+               }
+             ())
+    | Epochs ->
+        Ft
+          (Fasttrack.create
+             ~config:
+               {
+                 Fasttrack.default_config with
+                 sync_on_cond = config.sync_on_cond;
+                 sync_on_sem = config.sync_on_sem;
+                 first_only = false;
+               }
+             ())
   in
   (* the gate: a lock-set warning survives only when the access is
      genuinely unordered with a previous conflicting access *)
   Helgrind.set_warning_filter lockset (fun ~tid ~addr ~kind ->
       let write = match kind with Report.Race_write -> true | _ -> false in
-      Djit.unordered_now hb ~tid ~addr ~write);
+      match hb with
+      | Vc d -> Djit.unordered_now d ~tid ~addr ~write
+      | Ft f -> Fasttrack.unordered_now f ~tid ~addr ~write);
   { lockset; hb }
 
 (* event order matters: the lock-set side (and its gate probing the
@@ -55,7 +87,7 @@ let create ?(config = default_config) ?(suppressions = []) () =
    absorbs the current event. *)
 let on_event t ctx e =
   Helgrind.on_event t.lockset ctx e;
-  Djit.on_event t.hb ctx e
+  match t.hb with Vc d -> Djit.on_event d ctx e | Ft f -> Fasttrack.on_event f ctx e
 
 let tool t = Vm.Tool.make ~name:"hybrid" ~on_event:(on_event t)
 

@@ -7,14 +7,22 @@
     conflicting access.  Precision up; DJIT's schedule-dependence is
     the price. *)
 
+type gate_engine =
+  | Vector_clocks  (** full-VC {!Djit} gate — the historical default *)
+  | Epochs  (** {!Fasttrack} gate with adaptive demotion — same answers *)
+
 type config = {
   helgrind : Helgrind.config;
   sync_on_cond : bool;  (** HB edges for condition variables *)
   sync_on_sem : bool;  (** HB edges for semaphores *)
+  gate : gate_engine;
 }
 
 val default_config : config
-(** HWLC+DR lock-sets, all HB edge sources on. *)
+(** HWLC+DR lock-sets, all HB edge sources on, vector-clock gate. *)
+
+val epoch_config : config
+(** [default_config] with the epoch ({!Fasttrack}) gate. *)
 
 type t
 

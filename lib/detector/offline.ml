@@ -16,7 +16,7 @@
     experiment of §4.5 — and is now the cost of the {e encoded} log,
     not of an in-memory object graph.
 
-    The {!sink} registry names the eight detector configurations the
+    The {!sink} registry names the ten detector configurations the
     replay plane drives (the bench subjects plus the §5 annotation
     extension); {!replay_config} is the pure per-config cell the
     parallel fan-out in [lib/core] maps across domains. *)
@@ -78,9 +78,11 @@ let sink_of_helgrind name cfg =
 
 let other_config detector = Json.Obj [ ("detector", Json.Str detector) ]
 
-(** The eight replayable configurations: the paper's Helgrind column
+(** The ten replayable configurations: the paper's Helgrind column
     (original → HWLC → HWLC+DR → HWLC+DR+HB), the pure-Eraser ablation,
-    and the three surveyed baselines. *)
+    the three surveyed baselines, and the epoch-based pair —
+    "fasttrack" pinned byte-identical to "djit", "hybrid-epoch" pinned
+    byte-identical to "hybrid". *)
 let configs =
   [
     "helgrind-original";
@@ -89,8 +91,10 @@ let configs =
     "helgrind-hwlc+dr+hb";
     "eraser-pure";
     "djit";
+    "fasttrack";
     "racetrack";
     "hybrid";
+    "hybrid-epoch";
   ]
 
 let sink = function
@@ -108,6 +112,15 @@ let sink = function
         sk_occurrences = (fun () -> Djit.reports d);
         sk_locations = (fun () -> Djit.locations d);
       }
+  | "fasttrack" ->
+      let f = Fasttrack.create () in
+      {
+        sk_name = "fasttrack";
+        sk_config = Fasttrack.config_to_json Fasttrack.default_config;
+        sk_tool = Fasttrack.tool f;
+        sk_occurrences = (fun () -> Fasttrack.reports f);
+        sk_locations = (fun () -> Fasttrack.locations f);
+      }
   | "racetrack" ->
       let r = Racetrack.create () in
       {
@@ -122,6 +135,15 @@ let sink = function
       {
         sk_name = "hybrid";
         sk_config = other_config "hybrid";
+        sk_tool = Hybrid.tool h;
+        sk_occurrences = (fun () -> Hybrid.reports h);
+        sk_locations = (fun () -> Hybrid.locations h);
+      }
+  | "hybrid-epoch" ->
+      let h = Hybrid.create ~config:Hybrid.epoch_config () in
+      {
+        sk_name = "hybrid-epoch";
+        sk_config = other_config "hybrid-epoch";
         sk_tool = Hybrid.tool h;
         sk_occurrences = (fun () -> Hybrid.reports h);
         sk_locations = (fun () -> Hybrid.locations h);

@@ -11,7 +11,7 @@
     now the cost of the encoded bytes.
 
     The {!sink} registry gives the replay plane a uniform face over the
-    eight detector configurations it drives; a {!verdict} digests what
+    ten detector configurations it drives; a {!verdict} digests what
     one configuration concluded, comparably between live and replayed
     runs. *)
 
@@ -57,9 +57,10 @@ type sink = {
 }
 
 val configs : string list
-(** The eight replayable configurations: ["helgrind-original"],
+(** The ten replayable configurations: ["helgrind-original"],
     ["helgrind-hwlc"], ["helgrind-hwlc+dr"], ["helgrind-hwlc+dr+hb"],
-    ["eraser-pure"], ["djit"], ["racetrack"], ["hybrid"]. *)
+    ["eraser-pure"], ["djit"], ["fasttrack"], ["racetrack"],
+    ["hybrid"], ["hybrid-epoch"]. *)
 
 val sink : string -> sink
 (** A fresh detector instance for a registry name.

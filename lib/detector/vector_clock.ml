@@ -40,7 +40,23 @@ let leq a b =
     clock [vc] iff [vc] has seen at least [clk] of thread [tid]. *)
 let ordered_before ~tid ~clk vc = clk <= get vc tid
 
+(** Pointwise equality — the logical clock contents, independent of
+    the backing arrays' growth histories. *)
+let equal a b =
+  let n = max (Array.length a.data) (Array.length b.data) in
+  let rec go i = i >= n || (get a i = get b i && go (i + 1)) in
+  go 0
+
+(* Render the {e logical} entries only: the backing array over-allocates
+   on growth, so printing it raw would render two pointwise-equal
+   clocks differently depending on how they grew.  Trailing zeros are
+   capacity padding (a missing entry and a zero entry are the same
+   clock value), so the print frontier is the last non-zero entry. *)
 let pp ppf t =
+  let n = ref (Array.length t.data) in
+  while !n > 0 && t.data.(!n - 1) = 0 do
+    decr n
+  done;
   Fmt.pf ppf "[%a]"
     Fmt.(array ~sep:(any ",") int)
-    t.data
+    (Array.sub t.data 0 !n)

@@ -19,4 +19,10 @@ val ordered_before : tid:int -> clk:int -> t -> bool
 (** An access stamped (tid, clk) happened-before the state [vc] iff
     [vc] has seen at least [clk] of thread [tid]. *)
 
+val equal : t -> t -> bool
+(** Pointwise equality, independent of backing-array capacity. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints the logical entries (up to the last non-zero one) — two
+    pointwise-equal clocks always render identically, whatever their
+    growth history. *)

@@ -15,6 +15,7 @@ let () =
       Test_classify.suite;
       Test_explore.suite;
       Test_properties.suite;
+      Test_fasttrack.suite;
       Test_faults.suite;
       Test_fastpath.suite;
       Test_static.suite;

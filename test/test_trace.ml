@@ -409,7 +409,7 @@ let suite =
       Alcotest.test_case "write-behind materialization matches eager capture" `Slow
         test_write_behind_materialize;
       Alcotest.test_case "trace is self-describing" `Slow test_trace_self_describing;
-      Alcotest.test_case "replay byte-identical to live (T1-T8 x 8 configs x 2 seeds)" `Slow
+      Alcotest.test_case "replay byte-identical to live (T1-T8 x 10 configs x 2 seeds)" `Slow
         test_replay_matches_live;
       Alcotest.test_case "diff: identical traces" `Quick test_diff_identical;
       Alcotest.test_case "diff pinpoints first divergent event" `Quick
