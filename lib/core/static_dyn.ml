@@ -97,6 +97,12 @@ let cross_check_seeds ?(domains = 1) ~(static : Static.result)
   in
   cross_check ~static ~dynamic:(List.concat (Array.to_list per_seed))
 
+let confirmed_sigs t =
+  List.filter_map
+    (fun e ->
+      if e.e_verdict = Confirmed then Some (sig_of e.e_kind e.e_stack) else None)
+    t.entries
+
 let verdict_to_string = function
   | Confirmed -> "confirmed"
   | Static_only -> "static-only"

@@ -34,6 +34,14 @@ val cross_check_seeds :
     verdicts are identical for any [domains] (1 = sequential,
     0 = auto). *)
 
+val sig_of : Report.kind -> Loc.t list -> Report.kind * Loc.t list
+(** Truncate a stack to the collector's {!Report.signature_depth} —
+    the equivalence the whole static/dynamic matching runs on. *)
+
+val confirmed_sigs : t -> (Report.kind * Loc.t list) list
+(** Signatures of the [Confirmed] entries, the repair engine's
+    work-list. *)
+
 val verdict_to_string : verdict -> string
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Raceguard_obs.Json.t

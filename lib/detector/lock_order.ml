@@ -137,3 +137,72 @@ let on_event t (ctx : Vm.Tool.ctx) (e : Vm.Event.t) =
       ()
 
 let tool t = Vm.Tool.make ~name:"lock-order" ~on_event:(on_event t)
+
+(* ------------------------------------------------------------------ *)
+(* Pure acquisition-order graphs over hypothetical edges               *)
+(* ------------------------------------------------------------------ *)
+
+(** A persistent acquisition-order graph for what-if queries: the
+    repair engine builds one from the static nesting structure of a
+    program (original and patched) and asks whether a candidate patch
+    introduces an inversion that was not already possible. *)
+module Static_graph = struct
+  module IMap = Map.Make (Int)
+  module ISet = Set.Make (Int)
+
+  type nonrec t = { g_succs : ISet.t IMap.t }
+
+  let empty = { g_succs = IMap.empty }
+
+  let succs g a =
+    match IMap.find_opt a g.g_succs with Some s -> s | None -> ISet.empty
+
+  let add_edge g ~before ~after =
+    if before = after then g
+    else { g_succs = IMap.update before
+             (fun o -> Some (ISet.add after (Option.value ~default:ISet.empty o)))
+             g.g_succs }
+
+  let of_edges edges =
+    List.fold_left (fun g (a, b) -> add_edge g ~before:a ~after:b) empty edges
+
+  let edges g =
+    IMap.fold (fun a s acc -> ISet.fold (fun b acc -> (a, b) :: acc) s acc) g.g_succs []
+    |> List.sort compare
+
+  let reachable g ~from ~target =
+    let visited = Hashtbl.create 16 in
+    let rec go uid =
+      uid = target
+      || (not (Hashtbl.mem visited uid))
+         && begin
+              Hashtbl.replace visited uid ();
+              ISet.exists go (succs g uid)
+            end
+    in
+    go from
+
+  let nodes g =
+    IMap.fold (fun a s acc -> ISet.add a (ISet.union s acc)) g.g_succs ISet.empty
+
+  (* every unordered pair {a, b} with both a->b and b->a paths — the
+     pair need not be directly adjacent (a cycle inverts all its
+     member pairs) *)
+  let inversions g =
+    let ns = ISet.elements (nodes g) in
+    let pairs = ref [] in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a < b && reachable g ~from:a ~target:b && reachable g ~from:b ~target:a
+            then pairs := (a, b) :: !pairs)
+          ns)
+      ns;
+    List.sort compare !pairs
+
+  let adds_inversion g ~before ~after =
+    before <> after
+    && reachable g ~from:after ~target:before
+    && not (reachable g ~from:before ~target:after)
+end

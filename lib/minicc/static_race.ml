@@ -94,6 +94,7 @@ type access = {
   a_site : int;
   a_field : string;
   a_stack : Loc.t list;  (** innermost first, mirrors the dynamic frames *)
+  a_pos : Token.pos;  (** precise span (line *and* column) of the access *)
   a_locks : ISet.t;  (** protecting set ([bus] included where it applies) *)
   a_root : int;
   mutable a_seq_lo : int;
@@ -201,7 +202,7 @@ let render_stack st = String.concat ";" (List.map Loc.to_string st)
 
 (* Record one access (deduplicated on everything but the sequence
    window, which merges). *)
-let add_access ctx fr st ~kind ~vobj ~field ~loc ~atomic =
+let add_access ctx fr st ~kind ~vobj ~field ~loc ~pos ~atomic =
   ctx.seq <- ctx.seq + 1;
   let seq = ctx.seq in
   let locks =
@@ -214,9 +215,9 @@ let add_access ctx fr st ~kind ~vobj ~field ~loc ~atomic =
     (function
       | Obj s ->
           let key =
-            Fmt.str "%d|%d|%s|%s|%s|%s" fr.fr_root.r_id s field
+            Fmt.str "%d|%d|%s|%s|%d|%s|%s" fr.fr_root.r_id s field
               (match kind with Aread -> "r" | Awrite -> "w")
-              (render_stack stack) (render_iset locks)
+              pos.Token.col (render_stack stack) (render_iset locks)
           in
           (match Hashtbl.find_opt ctx.acc_tbl key with
           | Some a ->
@@ -226,8 +227,8 @@ let add_access ctx fr st ~kind ~vobj ~field ~loc ~atomic =
           | None ->
               let a =
                 { a_kind = kind; a_site = s; a_field = field; a_stack = stack;
-                  a_locks = locks; a_root = fr.fr_root.r_id; a_seq_lo = seq;
-                  a_seq_hi = seq; a_joined = st.joined }
+                  a_pos = pos; a_locks = locks; a_root = fr.fr_root.r_id;
+                  a_seq_lo = seq; a_seq_hi = seq; a_joined = st.joined }
               in
               Hashtbl.add ctx.acc_tbl key a;
               ctx.accs <- a :: ctx.accs)
@@ -268,8 +269,10 @@ let rec eval ctx fr st (e : expr) : st * Vset.t =
   | Field (o, f) ->
       let st, vo = eval ctx fr st o in
       (* [dynamic_class] reads the vptr, then the field is read *)
-      add_access ctx fr st ~kind:Aread ~vobj:vo ~field:"<vptr>" ~loc:(loc e.epos) ~atomic:false;
-      add_access ctx fr st ~kind:Aread ~vobj:vo ~field:f ~loc:(loc e.epos) ~atomic:false;
+      add_access ctx fr st ~kind:Aread ~vobj:vo ~field:"<vptr>" ~loc:(loc e.epos)
+        ~pos:e.epos ~atomic:false;
+      add_access ctx fr st ~kind:Aread ~vobj:vo ~field:f ~loc:(loc e.epos) ~pos:e.epos
+        ~atomic:false;
       let v =
         ISet.fold (fun s acc -> Vset.union acc (heap_get ctx s f)) (obj_sites vo) Vset.empty
       in
@@ -290,7 +293,8 @@ let rec eval ctx fr st (e : expr) : st * Vset.t =
   | Call (name, args) -> eval_call ctx fr st name args e.epos
   | Method_call (o, m, args) ->
       let st, vo = eval ctx fr st o in
-      add_access ctx fr st ~kind:Aread ~vobj:vo ~field:"<vptr>" ~loc:(loc e.epos) ~atomic:false;
+      add_access ctx fr st ~kind:Aread ~vobj:vo ~field:"<vptr>" ~loc:(loc e.epos)
+        ~pos:e.epos ~atomic:false;
       let st, vargs = eval_list ctx fr st args in
       (* dispatch per possible dynamic class *)
       let classes_of =
@@ -338,7 +342,7 @@ let rec eval ctx fr st (e : expr) : st * Vset.t =
             (fun level ->
               add_access ctx fr st ~kind:Awrite ~vobj:vo ~field:"<vptr>"
                 ~loc:(loc_of ~func:(level.cls_name ^ "::" ^ level.cls_name) e.epos)
-                ~atomic:false)
+                ~pos:e.epos ~atomic:false)
             (chain ctx c);
           (st, vo))
   | Spawn (fname, args) ->
@@ -384,7 +388,7 @@ let rec eval ctx fr st (e : expr) : st * Vset.t =
       let st, vi = eval ctx fr st inner in
       (* the deletor wrapper reads the vptr under its own name *)
       add_access ctx fr st ~kind:Aread ~vobj:vi ~field:"<vptr>"
-        ~loc:(loc_of ~func:"ca_deletor_single" e.epos) ~atomic:false;
+        ~loc:(loc_of ~func:"ca_deletor_single" e.epos) ~pos:e.epos ~atomic:false;
       (st, vi)
 
 and eval_list ctx fr st args =
@@ -457,7 +461,8 @@ and eval_call ctx fr st name args pos =
       with_args (fun st vargs ->
           match vargs with
           | [ vp ] ->
-              add_access ctx fr st ~kind:Aread ~vobj:vp ~field:"[]" ~loc ~atomic:false;
+              add_access ctx fr st ~kind:Aread ~vobj:vp ~field:"[]" ~loc ~pos
+                ~atomic:false;
               let v =
                 ISet.fold
                   (fun s acc -> Vset.union acc (heap_get ctx s "[]"))
@@ -469,7 +474,8 @@ and eval_call ctx fr st name args pos =
       with_args (fun st vargs ->
           match vargs with
           | [ vp; vv ] ->
-              add_access ctx fr st ~kind:Awrite ~vobj:vp ~field:"[]" ~loc ~atomic:false;
+              add_access ctx fr st ~kind:Awrite ~vobj:vp ~field:"[]" ~loc ~pos
+                ~atomic:false;
               ISet.iter (fun s -> heap_add ctx s "[]" vv) (obj_sites vp);
               if Vset.mem Unknown vp then
                 ctx.escape_seeds <- ISet.union ctx.escape_seeds (obj_sites vv);
@@ -479,8 +485,8 @@ and eval_call ctx fr st name args pos =
       with_args (fun st vargs ->
           match vargs with
           | [ vp ] ->
-              add_access ctx fr st ~kind:Aread ~vobj:vp ~field:"[]" ~loc ~atomic:true;
-              add_access ctx fr st ~kind:Awrite ~vobj:vp ~field:"[]" ~loc ~atomic:true;
+              add_access ctx fr st ~kind:Aread ~vobj:vp ~field:"[]" ~loc ~pos ~atomic:true;
+              add_access ctx fr st ~kind:Awrite ~vobj:vp ~field:"[]" ~loc ~pos ~atomic:true;
               (st, v_prim)
           | _ -> (st, v_prim))
   | "benign_race" ->
@@ -494,7 +500,7 @@ and eval_call ctx fr st name args pos =
           match vargs with
           | [ vi ] ->
               add_access ctx fr st ~kind:Aread ~vobj:vi ~field:"<vptr>"
-                ~loc:(loc_of ~func:"ca_deletor_single" pos) ~atomic:false;
+                ~loc:(loc_of ~func:"ca_deletor_single" pos) ~pos ~atomic:false;
               (st, vi)
           | _ -> (st, v_prim))
   | "free" | "hg_destruct" | "cond" | "cond_wait" | "cond_signal" | "cond_broadcast"
@@ -549,9 +555,11 @@ and walk_stmt ctx fr st (s : stmt) : st =
       { st with env = SMap.add name v st.env }
   | Assign (Lfield (o, f, fpos), e) ->
       let st, vo = eval ctx fr st o in
-      add_access ctx fr st ~kind:Aread ~vobj:vo ~field:"<vptr>" ~loc:(loc fpos) ~atomic:false;
+      add_access ctx fr st ~kind:Aread ~vobj:vo ~field:"<vptr>" ~loc:(loc fpos) ~pos:fpos
+        ~atomic:false;
       let st, vv = eval ctx fr st e in
-      add_access ctx fr st ~kind:Awrite ~vobj:vo ~field:f ~loc:(loc fpos) ~atomic:false;
+      add_access ctx fr st ~kind:Awrite ~vobj:vo ~field:f ~loc:(loc fpos) ~pos:fpos
+        ~atomic:false;
       ISet.iter (fun si -> heap_add ctx si f vv) (obj_sites vo);
       if Vset.mem Unknown vo then
         ctx.escape_seeds <- ISet.union ctx.escape_seeds (obj_sites vv);
@@ -586,7 +594,7 @@ and walk_stmt ctx fr st (s : stmt) : st =
   | Delete e ->
       let st, ve = eval ctx fr st e in
       add_access ctx fr st ~kind:Aread ~vobj:ve ~field:"<vptr>" ~loc:(loc s.spos)
-        ~atomic:false;
+        ~pos:s.spos ~atomic:false;
       (* destructor chain, most-derived first: each level writes its
          vptr, then runs its body with no extra stack frame (the
          interpreter does not push one either) *)
@@ -603,7 +611,7 @@ and walk_stmt ctx fr st (s : stmt) : st =
                     (fun st level ->
                       let dtor_name = level.cls_name ^ "::~" ^ level.cls_name in
                       add_access ctx fr st ~kind:Awrite ~vobj:vo ~field:"<vptr>"
-                        ~loc:(loc_of ~func:dtor_name s.spos) ~atomic:false;
+                        ~loc:(loc_of ~func:dtor_name s.spos) ~pos:s.spos ~atomic:false;
                       match level.cls_dtor with
                       | None -> st
                       | Some body ->
@@ -774,11 +782,25 @@ let concurrent ctx (a : access) (b : access) =
 type warning = {
   w_kind : Report.kind;
   w_stack : Loc.t list;
+  w_pos : Token.pos;  (** precise span of the racing access *)
   w_site : site;
   w_field : string;
   w_locks : ISet.t;  (** real locks held (bus excluded) *)
   w_counter_kind : Report.kind;
   w_counter_stack : Loc.t list;
+  w_counter_pos : Token.pos;
+}
+
+(** One abstract access, exported for downstream consumers (the repair
+    engine groups these by (site, field) to pick a guard lock). *)
+type access_info = {
+  ac_kind : Report.kind;
+  ac_site : int;
+  ac_field : string;
+  ac_stack : Loc.t list;
+  ac_pos : Token.pos;
+  ac_locks : ISet.t;  (** real locks held (bus excluded) *)
+  ac_warned : bool;  (** this access participates in some race warning *)
 }
 
 type stats = {
@@ -796,6 +818,8 @@ type stats = {
 type result = {
   warnings : warning list;
   suppressions : Suppression.t list;
+  sites : site list;  (** every abstract site (locks, allocations), id order *)
+  accesses : access_info list;  (** every recorded access, first-seen order *)
   local_allocs : site list;
   escaping_allocs : site list;
   hint_locs : (string * int) list;
@@ -814,8 +838,9 @@ let pp_stack ppf stack =
     stack
 
 let pp_warning ppf w =
-  Fmt.pf ppf "%a (static): %s of %s@\n" Report.pp_kind w.w_kind (field_desc w.w_field)
-    w.w_site.site_desc;
+  Fmt.pf ppf "%a (static): %s of %s (%s:%d:%d)@\n" Report.pp_kind w.w_kind
+    (field_desc w.w_field) w.w_site.site_desc w.w_pos.Token.file w.w_pos.Token.line
+    w.w_pos.Token.col;
   pp_stack ppf w.w_stack;
   Fmt.pf ppf " Conflicts with a concurrent %s:@\n"
     (match w.w_counter_kind with Report.Race_write -> "write" | _ -> "read");
@@ -912,9 +937,10 @@ let analyse (p : program) : result =
             else begin
               Hashtbl.replace seen_sigs sig_key ();
               Some
-                { w_kind = kind_of a; w_stack = a.a_stack; w_site = site_by_id ctx a.a_site;
-                  w_field = a.a_field; w_locks = ISet.remove bus a.a_locks;
-                  w_counter_kind = kind_of b; w_counter_stack = b.a_stack }
+                { w_kind = kind_of a; w_stack = a.a_stack; w_pos = a.a_pos;
+                  w_site = site_by_id ctx a.a_site; w_field = a.a_field;
+                  w_locks = ISet.remove bus a.a_locks; w_counter_kind = kind_of b;
+                  w_counter_stack = b.a_stack; w_counter_pos = b.a_pos }
             end)
       accs
   in
@@ -963,9 +989,19 @@ let analyse (p : program) : result =
     |> List.map (fun s -> (s.site_loc.Loc.file, s.site_loc.Loc.line))
     |> List.sort_uniq compare
   in
+  let accesses =
+    List.map
+      (fun a ->
+        { ac_kind = kind_of a; ac_site = a.a_site; ac_field = a.a_field;
+          ac_stack = a.a_stack; ac_pos = a.a_pos;
+          ac_locks = ISet.remove bus a.a_locks; ac_warned = Hashtbl.mem warned a })
+      accs
+  in
   {
     warnings;
     suppressions;
+    sites = all_sites;
+    accesses;
     local_allocs;
     escaping_allocs;
     hint_locs;
@@ -1010,14 +1046,24 @@ let site_json s =
       ("loc", loc_json s.site_loc);
     ]
 
+let span_json (p : Token.pos) =
+  Json.Obj
+    [
+      ("file", Json.Str p.Token.file);
+      ("line", Json.int p.Token.line);
+      ("col", Json.int p.Token.col);
+    ]
+
 let warning_json w =
   Json.Obj
     [
       ("kind", Json.Str (Fmt.str "%a" Report.pp_kind w.w_kind));
       ("target", Json.Str (field_desc w.w_field));
       ("site", site_json w.w_site);
+      ("span", span_json w.w_pos);
       ("stack", Json.List (List.map loc_json w.w_stack));
       ("conflict_kind", Json.Str (Fmt.str "%a" Report.pp_kind w.w_counter_kind));
+      ("conflict_span", span_json w.w_counter_pos);
       ("conflict_stack", Json.List (List.map loc_json w.w_counter_stack));
     ]
 

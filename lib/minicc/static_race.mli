@@ -29,12 +29,27 @@ type site = {
 type warning = {
   w_kind : Report.kind;  (** {!Report.Race_write} or {!Report.Race_read} *)
   w_stack : Loc.t list;  (** innermost first, like dynamic report stacks *)
+  w_pos : Token.pos;  (** precise span (line and column) of the racing access *)
   w_site : site;
   w_field : string;  (** field name, ["<vptr>"], or ["[]"] for raw words *)
   w_locks : ISet.t;  (** real locks held at the access (bus excluded) *)
   w_counter_kind : Report.kind;
   w_counter_stack : Loc.t list;  (** one conflicting concurrent access *)
+  w_counter_pos : Token.pos;
 }
+
+type access_info = {
+  ac_kind : Report.kind;
+  ac_site : int;
+  ac_field : string;
+  ac_stack : Loc.t list;
+  ac_pos : Token.pos;
+  ac_locks : ISet.t;  (** real locks held (bus excluded) *)
+  ac_warned : bool;  (** participates in some race warning *)
+}
+(** One deduplicated abstract access.  The repair engine groups these by
+    [(ac_site, ac_field)] to choose a guard lock and find every access
+    that needs wrapping. *)
 
 type stats = {
   n_roots : int;  (** thread roots walked (main + distinct spawns) *)
@@ -52,6 +67,8 @@ type result = {
   warnings : warning list;
   suppressions : Suppression.t list;
       (** for consistently-guarded shared accesses, [of_frames]-shaped *)
+  sites : site list;  (** every abstract site (locks and allocations), id order *)
+  accesses : access_info list;  (** every recorded access, first-seen order *)
   local_allocs : site list;  (** allocation sites proven thread-local *)
   escaping_allocs : site list;
   hint_locs : (string * int) list;
@@ -65,6 +82,11 @@ val analyse : Ast.program -> result
 (** Run the analysis on a checked program.  Deterministic; terminates
     on all inputs (bounded loops, calls, and passes — [stats.truncated]
     says whether a bound was hit). *)
+
+val field_desc : string -> string
+(** ["<vptr>"] → ["vptr"], ["[]"] → ["word"], otherwise
+    ["field 'f'"] — the rendering used by warnings and the repair
+    engine alike. *)
 
 val pp_warning : Format.formatter -> warning -> unit
 val pp_result : Format.formatter -> result -> unit

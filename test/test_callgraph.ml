@@ -1,0 +1,175 @@
+(* Tests pinning the callgraph on recursion — the part the static
+   lockset pass leans on hardest:
+
+   - self-recursion and mutual recursion are detected by [may_recurse],
+     and acyclic call chains are not;
+   - [may_alter_locks] propagates through a call cycle;
+   - [unreachable_functions] still finds a dead mutually-recursive
+     pair (dead cycles have no path from a root);
+   - the static race analysis terminates on recursive programs and
+     owns up to truncation via [stats.truncated]. *)
+
+module M = Raceguard_minicc
+module CG = M.Callgraph
+module S = M.Static_race
+
+let parse src = M.Preprocess.parse (M.Preprocess.with_builtins ()) ~file:"cg.mcc" src
+
+let recursive_src =
+  {|
+fn fact(n) {
+  if (n <= 1) {
+    return 1;
+  }
+  return n * fact(n - 1);
+}
+
+fn even(n) {
+  if (n == 0) {
+    return 1;
+  }
+  return odd(n - 1);
+}
+
+fn odd(n) {
+  if (n == 0) {
+    return 0;
+  }
+  return even(n - 1);
+}
+
+fn straight(n) {
+  return fact(n) + even(n);
+}
+
+fn main() {
+  print(straight(5));
+  return 0;
+}
+|}
+
+let test_self_and_mutual_recursion () =
+  let g = CG.build (parse recursive_src) in
+  let r name = CG.may_recurse g (CG.Func name) in
+  Alcotest.(check bool) "fact self-recurses" true (r "fact");
+  Alcotest.(check bool) "even recurses via odd" true (r "even");
+  Alcotest.(check bool) "odd recurses via even" true (r "odd");
+  Alcotest.(check bool) "straight does not recurse" false (r "straight");
+  Alcotest.(check bool) "main does not recurse" false (r "main")
+
+let test_lock_alteration_through_cycle () =
+  let g =
+    CG.build
+      (parse
+         {|
+fn ping(m, n) {
+  if (n > 0) {
+    pong(m, n - 1);
+  }
+  return 0;
+}
+
+fn pong(m, n) {
+  mutex_lock(m);
+  mutex_unlock(m);
+  if (n > 0) {
+    ping(m, n - 1);
+  }
+  return 0;
+}
+
+fn pure(n) {
+  if (n > 0) {
+    pure(n - 1);
+  }
+  return 0;
+}
+
+fn main() {
+  var m = mutex("g");
+  ping(m, 2);
+  pure(2);
+  return 0;
+}
+|})
+  in
+  Alcotest.(check bool) "pong alters locks" true (CG.may_alter_locks g (CG.Func "pong"));
+  Alcotest.(check bool)
+    "ping alters locks through the cycle" true
+    (CG.may_alter_locks g (CG.Func "ping"));
+  Alcotest.(check bool)
+    "recursive but lock-free" false
+    (CG.may_alter_locks g (CG.Func "pure"))
+
+let test_dead_recursive_pair_unreachable () =
+  let g =
+    CG.build
+      (parse
+         {|
+fn dead_a(n) {
+  return dead_b(n);
+}
+
+fn dead_b(n) {
+  return dead_a(n);
+}
+
+fn main() {
+  return 0;
+}
+|})
+  in
+  Alcotest.(check (slist string compare))
+    "dead cycle is unreachable" [ "dead_a"; "dead_b" ] (CG.unreachable_functions g);
+  Alcotest.(check bool)
+    "dead nodes still recurse" true
+    (CG.may_recurse g (CG.Func "dead_a"))
+
+let test_static_analysis_terminates_on_recursion () =
+  (* a recursive worker hammering a shared field: the analysis must
+     terminate, admit truncation of the unbounded call chain, and still
+     run deterministically *)
+  let p =
+    parse
+      {|
+class Cell {
+  var v;
+}
+
+fn hammer(c, n) {
+  c.v = c.v + 1;
+  if (n > 0) {
+    hammer(c, n - 1);
+  }
+  return 0;
+}
+
+fn main() {
+  var c = new Cell();
+  c.v = 0;
+  var t = spawn hammer(c, 10);
+  hammer(c, 10);
+  join(t);
+  print(c.v);
+  delete c;
+  return 0;
+}
+|}
+  in
+  let r = S.analyse p in
+  Alcotest.(check bool) "terminates with truncation admitted" true r.S.stats.S.truncated;
+  Alcotest.(check bool) "still flags the race" true (r.S.warnings <> []);
+  let a = Fmt.str "%a" S.pp_result r and b = Fmt.str "%a" S.pp_result (S.analyse p) in
+  Alcotest.(check string) "deterministic" a b
+
+let suite =
+  ( "callgraph",
+    [
+      Alcotest.test_case "self and mutual recursion" `Quick test_self_and_mutual_recursion;
+      Alcotest.test_case "lock alteration through a cycle" `Quick
+        test_lock_alteration_through_cycle;
+      Alcotest.test_case "dead recursive pair unreachable" `Quick
+        test_dead_recursive_pair_unreachable;
+      Alcotest.test_case "static analysis terminates on recursion" `Quick
+        test_static_analysis_terminates_on_recursion;
+    ] )

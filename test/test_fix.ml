@@ -1,0 +1,223 @@
+(* Tests pinning the raceguard-fix repair engine end to end:
+
+   - racy_counter is repaired fully automatically by threading the
+     existing "counter_guard" lock into the unguarded worker, with all
+     four verification stages passing and the emitted source
+     re-checking;
+   - leaky_escape gets a verified fresh-member guard on Box,
+     initialised after every allocation;
+   - guarded_counter yields no confirmed finding and no patch;
+   - bounded_buffer's candidate is REJECTED by the static stage (the
+     guard-member handoff itself races) and its vptr lifetime group is
+     refused with a reason — the pipeline never claims an unsound fix;
+   - the engine is deterministic and domain-count independent;
+   - the raceguard-fix/1 JSON document is well-formed;
+   - Rewrite.wrap_in_body wraps the minimal enclosing statement;
+   - Lock_order.Static_graph inversion queries behave. *)
+
+module M = Raceguard_minicc
+module Det = Raceguard_detector
+module Fix = Raceguard_fix
+module SG = Det.Lock_order.Static_graph
+module S = M.Static_race
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_example ?(domains = 1) file =
+  let path = "../examples/programs/" ^ file in
+  match Fix.Engine.run ~domains ~file:path ~src:(read_file path) () with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "fix engine failed on %s: %s" file e
+
+let verified t =
+  List.filter (fun p -> p.Fix.Engine.pr_verified) t.Fix.Engine.t_patches
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- end-to-end repairs -------------------------------------------------- *)
+
+let test_racy_counter_repaired () =
+  let t = run_example "racy_counter.mcc" in
+  Alcotest.(check bool) "has confirmed findings" true (t.Fix.Engine.t_confirmed <> []);
+  Alcotest.(check int) "one patch" 1 (List.length t.Fix.Engine.t_patches);
+  match verified t with
+  | [ p ] ->
+      Alcotest.(check string)
+        "threaded strategy" "threaded-lock" p.Fix.Engine.pr_plan.Fix.Synth.pl_strategy;
+      Alcotest.(check int) "four stages" 4 (List.length p.Fix.Engine.pr_stages);
+      List.iter
+        (fun (s : Fix.Verify.stage) ->
+          Alcotest.(check bool) ("stage " ^ s.Fix.Verify.sg_name) true s.Fix.Verify.sg_ok)
+        p.Fix.Engine.pr_stages;
+      Alcotest.(check bool) "emitted source rechecks" true t.Fix.Engine.t_recheck_ok;
+      let src =
+        match t.Fix.Engine.t_combined_source with
+        | Some s -> s
+        | None -> Alcotest.fail "no combined source"
+      in
+      (* the existing lock is threaded as a parameter and the unguarded
+         increment is wrapped *)
+      Alcotest.(check bool)
+        "worker gained the lock parameter" true
+        (contains ~needle:"fn bad_worker(c, n, __rg_lock)" src);
+      Alcotest.(check bool)
+        "wrap uses the threaded lock" true (contains ~needle:"lock (__rg_lock)" src);
+      Alcotest.(check bool)
+        "spawn site passes the lock" true
+        (contains ~needle:"spawn bad_worker(c, 10, m)" src)
+  | l -> Alcotest.failf "expected exactly one verified patch, got %d" (List.length l)
+
+let test_leaky_escape_fresh_member () =
+  let t = run_example "leaky_escape.mcc" in
+  match verified t with
+  | [ p ] ->
+      Alcotest.(check string)
+        "fresh-member strategy" "fresh-member" p.Fix.Engine.pr_plan.Fix.Synth.pl_strategy;
+      let src = Option.get t.Fix.Engine.t_combined_source in
+      Alcotest.(check bool)
+        "class gained the guard field" true (contains ~needle:"var __rg_guard;" src);
+      Alcotest.(check bool)
+        "guard initialised after allocation" true
+        (contains ~needle:"b.__rg_guard = mutex(\"__rg_guard_Box\");" src);
+      Alcotest.(check bool)
+        "accesses wrapped in the member guard" true
+        (contains ~needle:"lock (b.__rg_guard)" src);
+      Alcotest.(check bool) "rechecks" true t.Fix.Engine.t_recheck_ok
+  | l -> Alcotest.failf "expected exactly one verified patch, got %d" (List.length l)
+
+let test_guarded_counter_clean () =
+  let t = run_example "guarded_counter.mcc" in
+  Alcotest.(check int) "no confirmed findings" 0 (List.length t.Fix.Engine.t_confirmed);
+  Alcotest.(check int) "no patches" 0 (List.length t.Fix.Engine.t_patches);
+  Alcotest.(check bool) "no combined source" true (t.Fix.Engine.t_combined_source = None)
+
+let test_bounded_buffer_rejected () =
+  let t = run_example "bounded_buffer.mcc" in
+  Alcotest.(check int) "no verified patch" 0 (List.length (verified t));
+  (* the candidate fails the static stage: adding a guard member to a
+     handed-off object introduces new warnings *)
+  (match t.Fix.Engine.t_patches with
+  | [ p ] ->
+      Alcotest.(check bool) "rejected" false p.Fix.Engine.pr_verified;
+      let static_stage =
+        List.find (fun (s : Fix.Verify.stage) -> s.Fix.Verify.sg_name = "static")
+          p.Fix.Engine.pr_stages
+      in
+      Alcotest.(check bool) "static stage failed" false static_stage.Fix.Verify.sg_ok
+  | l -> Alcotest.failf "expected one candidate patch, got %d" (List.length l));
+  (* the vptr lifetime group is refused with a reason, not patched *)
+  Alcotest.(check bool)
+    "vptr group unfixed with reason" true
+    (List.exists
+       (fun (_, reason) -> contains ~needle:"vptr" reason)
+       t.Fix.Engine.t_unfixed)
+
+(* --- determinism --------------------------------------------------------- *)
+
+let test_domains_invariant () =
+  let render t = Raceguard_obs.Json.to_string (Fix.Engine.to_json t) in
+  let a = render (run_example ~domains:1 "racy_counter.mcc") in
+  let b = render (run_example ~domains:2 "racy_counter.mcc") in
+  let c = render (run_example ~domains:1 "racy_counter.mcc") in
+  Alcotest.(check string) "1 vs 2 domains" a b;
+  Alcotest.(check string) "repeated run" a c
+
+(* --- JSON document ------------------------------------------------------- *)
+
+let test_json_schema () =
+  let module Json = Raceguard_obs.Json in
+  let t = run_example "racy_counter.mcc" in
+  let doc = Json.to_string ~indent:2 (Fix.Engine.to_json t) in
+  match Json.parse doc with
+  | Error e -> Alcotest.failf "raceguard-fix/1 does not reparse: %s" e
+  | Ok j ->
+      Alcotest.(check (option string))
+        "schema" (Some "raceguard-fix/1")
+        (Option.bind (Json.member "schema" j) Json.to_string_opt);
+      let summary = Option.get (Json.member "summary" j) in
+      Alcotest.(check (option (float 0.0)))
+        "verified count" (Some 1.0)
+        (Option.bind (Json.member "verified" summary) Json.to_float_opt)
+
+(* --- wrap rewriter ------------------------------------------------------- *)
+
+let parse_src src =
+  M.Preprocess.parse (M.Preprocess.with_builtins ()) ~file:"wrap_test.mcc" src
+
+let test_wrap_minimal_statement () =
+  let p =
+    parse_src
+      {|
+fn main() {
+  var m = mutex("g");
+  var x = 0;
+  if (x < 1) {
+    x = x + 1;
+    print(x);
+  }
+  return 0;
+}
+|}
+  in
+  (* wrap only the statement containing the access at line 6 (the [x]
+     read on the right-hand side of [x = x + 1]) *)
+  let target_pos = { M.Token.file = "wrap_test.mcc"; line = 6; col = 9 } in
+  let guard_for (s : M.Ast.stmt) _covered =
+    Some M.Ast.{ e = Var "m"; epos = s.M.Ast.spos }
+  in
+  let p' =
+    match
+      Fix.Rewrite.map_body p ~node:"main" (fun body ->
+          match Fix.Rewrite.wrap_in_body ~guard_for ~targets:[ target_pos ] body with
+          | Ok (body', n) ->
+              Alcotest.(check int) "one wrap" 1 n;
+              body'
+          | Error e -> Alcotest.fail e)
+    with
+    | Some p' -> p'
+    | None -> Alcotest.fail "main not found"
+  in
+  let src = M.Pretty.program p' in
+  (* the assignment alone is wrapped — not the whole if, not the print *)
+  Alcotest.(check bool)
+    "assignment wrapped" true
+    (contains ~needle:"lock (m) {\n      x = x + 1;\n    }" src);
+  Alcotest.(check bool) "print untouched" false (contains ~needle:"lock (m) {\n      print" src)
+
+(* --- static lock-order graph --------------------------------------------- *)
+
+let test_static_graph () =
+  let g = SG.of_edges [ (1, 2); (2, 3) ] in
+  Alcotest.(check bool) "transitive reach" true (SG.reachable g ~from:1 ~target:3);
+  Alcotest.(check bool) "no back reach" false (SG.reachable g ~from:3 ~target:1);
+  Alcotest.(check (list (pair int int))) "acyclic: no inversion" [] (SG.inversions g);
+  Alcotest.(check bool) "3->1 would invert" true (SG.adds_inversion g ~before:3 ~after:1);
+  Alcotest.(check bool) "1->3 is safe" false (SG.adds_inversion g ~before:1 ~after:3);
+  let g' = SG.add_edge g ~before:3 ~after:1 in
+  Alcotest.(check (list (pair int int)))
+    "all pairs inverted" [ (1, 2); (1, 3); (2, 3) ] (SG.inversions g');
+  (* self-edges are ignored *)
+  Alcotest.(check (list (pair int int)))
+    "self edge dropped" (SG.edges g)
+    (SG.edges (SG.add_edge g ~before:2 ~after:2))
+
+let suite =
+  ( "fix",
+    [
+      Alcotest.test_case "racy_counter repaired end to end" `Slow test_racy_counter_repaired;
+      Alcotest.test_case "leaky_escape fresh member" `Slow test_leaky_escape_fresh_member;
+      Alcotest.test_case "guarded_counter untouched" `Quick test_guarded_counter_clean;
+      Alcotest.test_case "bounded_buffer candidate rejected" `Slow test_bounded_buffer_rejected;
+      Alcotest.test_case "domain-count invariant" `Slow test_domains_invariant;
+      Alcotest.test_case "raceguard-fix/1 JSON" `Slow test_json_schema;
+      Alcotest.test_case "wrap minimal statement" `Quick test_wrap_minimal_statement;
+      Alcotest.test_case "static lock-order graph" `Quick test_static_graph;
+    ] )

@@ -19,6 +19,8 @@ let () =
       Test_faults.suite;
       Test_fastpath.suite;
       Test_static.suite;
+      Test_callgraph.suite;
+      Test_fix.suite;
       Test_obs.suite;
       Test_trace.suite;
       Test_par.suite;

@@ -141,6 +141,136 @@ let gen_program =
   in
   return { decls = List.map (fun f -> Dfn f) fns @ [ Dfn main ]; source_file = "gen.mcc" }
 
+(* a richer generator exercising the object-oriented surface: classes
+   with fields, methods and destructors, allocation, field assignment,
+   method calls, scoped lock statements and delete *)
+let gen_class_program =
+  let* n_fields = int_range 1 3 in
+  let fields = List.init n_fields (Printf.sprintf "f%d") in
+  let* inits = flatten_l (List.map (fun _ -> int_range 0 9) fields) in
+  let* bump = int_range 1 5 in
+  let* with_dtor = bool in
+  let* with_lock = bool in
+  let* extra = gen_stmts ~vars:[ "a" ] in
+  let fld o f = e (Field (o, f)) in
+  let f0 = List.hd fields in
+  let meth =
+    {
+      fn_name = "bump";
+      fn_params = [ "n" ];
+      fn_body =
+        [
+          s
+            (Assign
+               ( Lfield (e This, f0, pos),
+                 e (Binop (Add, fld (e This) f0, e (Var "n"))) ));
+          s (Return (Some (fld (e This) f0)));
+        ];
+      fn_pos = pos;
+    }
+  in
+  let cls =
+    {
+      cls_name = "C";
+      cls_parent = None;
+      cls_fields = fields;
+      cls_methods = [ meth ];
+      cls_dtor =
+        (if with_dtor then Some [ s (Assign (Lfield (e This, f0, pos), e (Int 0))) ]
+         else None);
+      cls_pos = pos;
+    }
+  in
+  let o = e (Var "o") in
+  let main_body =
+    [ s (Var_decl ("a", e (Int 4))); s (Var_decl ("m", e (Call ("mutex", [ e (Str "g") ])))) ]
+    @ [ s (Var_decl ("o", e (New "C"))) ]
+    @ List.map2 (fun f v -> s (Assign (Lfield (o, f, pos), e (Int v)))) fields inits
+    @ (if with_lock then
+         [ s (Lock (e (Var "m"), [ s (Assign (Lfield (o, f0, pos), fld o f0)) ])) ]
+       else [])
+    @ extra
+    @ [
+        s (Expr (e (Call ("print", [ e (Method_call (o, "bump", [ e (Int bump) ])) ]))));
+        s (Delete o);
+        s (Return (Some (e (Int 0))));
+      ]
+  in
+  let main = { fn_name = "main"; fn_params = []; fn_body = main_body; fn_pos = pos } in
+  return { decls = [ Dclass cls; Dfn main ]; source_file = "gen.mcc" }
+
+(* --- AST normalisation (round-trip modulo printing) --------------------- *)
+
+(* Two programs are the same modulo printing when they are equal after
+   zeroing every source position and folding the two encodings the
+   printer legitimately conflates: [Unop (Neg, Int n)] prints as the
+   literal [-n], and [Deletor x] prints as the [ca_deletor_single(x)]
+   builtin call. *)
+let zero_pos = { M.Token.file = ""; line = 0; col = 0 }
+
+let rec norm_expr e0 =
+  let d =
+    match e0.e with
+    | Int n -> Int n
+    | Str s -> Str s
+    | Null -> Null
+    | Var v -> Var v
+    | This -> This
+    | Field (o, f) -> Field (norm_expr o, f)
+    | Binop (op, a, b) -> Binop (op, norm_expr a, norm_expr b)
+    | Unop (Neg, a) -> (
+        match norm_expr a with
+        | { e = Int n; _ } -> Int (-n)
+        | a' -> Unop (Neg, a'))
+    | Unop (op, a) -> Unop (op, norm_expr a)
+    | Call ("ca_deletor_single", [ x ]) -> Deletor (norm_expr x)
+    | Call (f, args) -> Call (f, List.map norm_expr args)
+    | Method_call (o, m, args) -> Method_call (norm_expr o, m, List.map norm_expr args)
+    | New c -> New c
+    | Spawn (f, args) -> Spawn (f, List.map norm_expr args)
+    | Deletor x -> Deletor (norm_expr x)
+  in
+  { e = d; epos = zero_pos }
+
+let norm_lvalue = function
+  | Lvar v -> Lvar v
+  | Lfield (o, f, _) -> Lfield (norm_expr o, f, zero_pos)
+
+let rec norm_stmt s0 =
+  let d =
+    match s0.s with
+    | Var_decl (v, e) -> Var_decl (v, norm_expr e)
+    | Assign (lv, e) -> Assign (norm_lvalue lv, norm_expr e)
+    | Expr e -> Expr (norm_expr e)
+    | If (c, a, b) -> If (norm_expr c, List.map norm_stmt a, List.map norm_stmt b)
+    | While (c, b) -> While (norm_expr c, List.map norm_stmt b)
+    | Return e -> Return (Option.map norm_expr e)
+    | Delete e -> Delete (norm_expr e)
+    | Lock (m, b) -> Lock (norm_expr m, List.map norm_stmt b)
+    | Block b -> Block (List.map norm_stmt b)
+  in
+  { s = d; spos = zero_pos }
+
+let norm_fn f =
+  { f with fn_body = List.map norm_stmt f.fn_body; fn_pos = zero_pos }
+
+let norm_decl = function
+  | Dfn f -> Dfn (norm_fn f)
+  | Dclass c ->
+      Dclass
+        {
+          c with
+          cls_methods = List.map norm_fn c.cls_methods;
+          cls_dtor = Option.map (List.map norm_stmt) c.cls_dtor;
+          cls_pos = zero_pos;
+        }
+
+let norm p = { decls = List.map norm_decl p.decls; source_file = "" }
+
+let ast_roundtrips p =
+  let reparsed = M.Parser.parse_string ~file:"gen.mcc" (M.Pretty.program p) in
+  norm reparsed = norm p
+
 (* --- properties -------------------------------------------------------- *)
 
 let execute ?(seed = 1) program =
@@ -155,6 +285,39 @@ let qc_roundtrip =
       let printed = M.Pretty.program p in
       let reparsed = M.Parser.parse_string ~file:"gen.mcc" printed in
       M.Pretty.program reparsed = printed)
+
+let qc_ast_roundtrip =
+  QCheck2.Test.make ~name:"generated programs: parse o pretty = id on the AST" ~count:150
+    gen_program ast_roundtrips
+
+let qc_ast_roundtrip_classes =
+  QCheck2.Test.make
+    ~name:"generated class programs: parse o pretty = id on the AST" ~count:150
+    gen_class_program ast_roundtrips
+
+let qc_class_checker_accepts =
+  QCheck2.Test.make ~name:"generated class programs: checker accepts" ~count:100
+    gen_class_program (fun p -> M.Check.check_all p = [])
+
+let test_examples_ast_roundtrip () =
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  Array.iter
+    (fun file ->
+      let path = "../examples/programs/" ^ file in
+      let p =
+        M.Preprocess.parse (M.Preprocess.with_builtins ()) ~file:path (read_file path)
+      in
+      Alcotest.(check bool) (file ^ " round-trips") true (ast_roundtrips p);
+      (* the annotated variant exercises the Deletor printing *)
+      let annotated, _ = M.Annotate.annotate p in
+      Alcotest.(check bool) (file ^ " annotated round-trips") true (ast_roundtrips annotated))
+    (Sys.readdir "../examples/programs")
 
 let qc_checker_accepts =
   QCheck2.Test.make ~name:"generated programs: checker accepts" ~count:150 gen_program
@@ -186,6 +349,11 @@ let suite =
   ( "minicc-gen",
     [
       QCheck_alcotest.to_alcotest qc_roundtrip;
+      QCheck_alcotest.to_alcotest qc_ast_roundtrip;
+      QCheck_alcotest.to_alcotest qc_ast_roundtrip_classes;
+      QCheck_alcotest.to_alcotest qc_class_checker_accepts;
+      Alcotest.test_case "example programs: parse o pretty = id on the AST" `Quick
+        test_examples_ast_roundtrip;
       QCheck_alcotest.to_alcotest qc_checker_accepts;
       QCheck_alcotest.to_alcotest qc_runs_clean;
       QCheck_alcotest.to_alcotest qc_annotation_preserves_output;
