@@ -1073,6 +1073,171 @@ let fix_rows ~quick ~seed:_ =
     };
   ]
 
+(* --- sharded-registrar storm suite ----------------------------------- *)
+
+(* The sharded registrar driven directly, VM-scheduled: 8 writer threads
+   register a user population onto a Resilient striped table sized to
+   double repeatedly under the load (initial 8 shards, grow_at 8), with
+   a lookup tail mixing cross-shard reads into the storm.  Gated
+   in-process: the post-run audit must be clean, every registration must
+   have survived the resizes, and the table must have reached its shard
+   ceiling — or exit 2.  Two rows: no-tool (normalized 0, exempt from
+   the baseline gate) and HWLC+DR, whose normalized throughput the
+   baseline comparison covers like any detector row. *)
+
+let storm_workload_name = "registrar-storm"
+let storm_loc = Loc.v "bench_storm.ml" "storm" 1
+
+let storm_params ~quick = if quick then (2_000, 64) else (20_000, 256)
+
+let storm_run ~quick ~seed tools =
+  let users, max_shards = storm_params ~quick in
+  let vm = Vm.Engine.create ~config:{ Vm.Engine.default_config with seed } () in
+  List.iter (Vm.Engine.add_tool vm) tools;
+  let reg = ref None in
+  let outcome =
+    Vm.Engine.run vm (fun () ->
+        let alloc = Raceguard_cxxsim.Allocator.create Raceguard_cxxsim.Allocator.Direct in
+        let stats = Sip.Stats.create () in
+        let r =
+          Sip.Registrar.create
+            ~sharding:
+              (Sip.Registrar.Sharded
+                 { flavor = Sip.Registrar.Resilient; initial = 8; grow_at = 8; max_shards })
+            ~alloc ~stats ()
+        in
+        reg := Some r;
+        let workers = 8 in
+        let per = users / workers in
+        let threads =
+          List.init workers (fun w ->
+              Vm.Api.spawn ~loc:storm_loc ~name:(Printf.sprintf "storm%d" w) (fun () ->
+                  for i = w * per to ((w + 1) * per) - 1 do
+                    ignore
+                      (Sip.Registrar.register r ~annotate:true
+                         ~aor:(Printf.sprintf "u%d@bench" i)
+                         ~contact:(Printf.sprintf "sip:c%d" i)
+                         ~cseq:1 ~expires:1_000_000)
+                  done;
+                  (* lookup tail: cross-shard reads racing later growers *)
+                  for i = w * per to (w * per) + (per / 4) - 1 do
+                    match Sip.Registrar.lookup r ~aor:(Printf.sprintf "u%d@bench" i) with
+                    | Some c -> Sip.Registrar.Refstring.release c
+                    | None -> ()
+                  done))
+        in
+        List.iter (fun t -> Vm.Api.join ~loc:storm_loc t) threads;
+        ignore (Sip.Registrar.rebalance r))
+  in
+  (match outcome.Vm.Engine.failures with
+  | [] -> ()
+  | (_, name, e) :: _ ->
+      Printf.printf "REGISTRAR STORM FAILURE: thread %s raised %s\n" name
+        (Printexc.to_string e);
+      exit 2);
+  if outcome.Vm.Engine.deadlock <> None then begin
+    Printf.printf "REGISTRAR STORM FAILURE: deadlock\n";
+    exit 2
+  end;
+  Option.get !reg
+
+let storm_configs =
+  [
+    ("storm-no-tool", other_config "none");
+    ("storm-hwlc+dr", Det.Helgrind.config_to_json Det.Helgrind.hwlc_dr);
+  ]
+
+let storm_rows ~quick ~seed =
+  let users, max_shards = storm_params ~quick in
+  let events =
+    let n = ref 0 in
+    ignore (storm_run ~quick ~seed [ Vm.Tool.of_fn "count" (fun _ -> incr n) ]);
+    !n
+  in
+  let variants =
+    [
+      ("storm-no-tool", fun () -> ([], (fun () -> 0), fun () -> []));
+      ("storm-hwlc+dr", mk_helgrind Det.Helgrind.hwlc_dr);
+    ]
+  in
+  let audited =
+    List.map
+      (fun (name, make) ->
+        let tools, n_reports, signatures = make () in
+        let before = Obs.Metrics.snapshot () in
+        let gc0 = Gc.minor_words () in
+        let r = storm_run ~quick ~seed tools in
+        let gc_words = Gc.minor_words () -. gc0 in
+        let m = Obs.Metrics.diff ~before (Obs.Metrics.snapshot ()) in
+        let audit = Sip.Registrar.audit r in
+        (* bound_aors, not size: the latter takes the shard locks and
+           needs VM context, the former reads the host mirrors *)
+        let bound = List.length (Sip.Registrar.bound_aors r) in
+        if audit <> [] || bound <> users || Sip.Registrar.shard_count r <> max_shards
+        then begin
+          Printf.printf
+            "REGISTRAR STORM GATE FAILURE (%s): bound %d/%d, %d/%d shards, audit [%s]\n" name
+            bound users (Sip.Registrar.shard_count r) max_shards
+            (String.concat ", " audit);
+          exit 2
+        end;
+        Printf.printf
+          "registrar storm gate OK (%s): %d users over %d shards, %d resize(s), %d \
+           migration(s), audit clean\n%!"
+          name users (Sip.Registrar.shard_count r) (Sip.Registrar.resizes r)
+          (Sip.Registrar.migrations r);
+        (name, make, n_reports (), digest_sigs (signatures ()), m, gc_words))
+      variants
+  in
+  (* interleave the timed repetitions so clock drift hits both equally *)
+  let reps = if quick then 3 else 6 in
+  let spent = Hashtbl.create 4 in
+  List.iter (fun (name, _, _, _, _, _) -> Hashtbl.replace spent name 0.) audited;
+  List.iter
+    (fun (_, make, _, _, _, _) ->
+      let tools, _, _ = make () in
+      ignore (storm_run ~quick ~seed tools))
+    audited (* warm-up *);
+  for _ = 1 to reps do
+    List.iter
+      (fun (name, make, _, _, _, _) ->
+        let tools, _, _ = make () in
+        let t0 = Sys.time () in
+        ignore (storm_run ~quick ~seed tools);
+        Hashtbl.replace spent name (Hashtbl.find spent name +. (Sys.time () -. t0)))
+      audited
+  done;
+  let rows =
+    List.map
+      (fun (name, _, reports, digest, m, gc_words) ->
+        let ns = Hashtbl.find spent name /. float_of_int reps *. 1e9 in
+        let counter n = Option.value ~default:0 (Obs.Metrics.find_counter m n) in
+        {
+          r_workload = storm_workload_name;
+          r_config = name;
+          r_events = events;
+          r_reports = reports;
+          r_sig_digest = digest;
+          r_ns_per_run = ns;
+          r_events_per_sec = (if ns <= 0. then 0. else float_of_int events /. (ns /. 1e9));
+          r_minor_words_per_event = 0.;
+          r_normalized = 0.;
+          (* filled below for the detector row *)
+          r_checked = counter "detector.helgrind.accesses_checked";
+          r_fast_hits = counter "detector.helgrind.fast_path_hits";
+          r_interned = 0;
+          r_gc_words_per_event =
+            (if events = 0 then 0. else gc_words /. float_of_int events);
+        })
+      audited
+  in
+  let base = List.find (fun r -> r.r_config = "storm-no-tool") rows in
+  List.map
+    (fun r ->
+      if r.r_config = "storm-no-tool" || base.r_events_per_sec <= 0. then r
+      else { r with r_normalized = r.r_events_per_sec /. base.r_events_per_sec })
+    rows
+
 (* --- domain-scaling suite ------------------------------------------- *)
 
 (* The quick chaos grid run whole, once per domain count: the
@@ -1197,7 +1362,7 @@ let write_json ~out ~quick ~seed ~domains ~scaling rows =
   Printf.fprintf oc "  \"configs\": {\n";
   let configs =
     List.map (fun s -> (s.s_name, s.s_config)) subjects
-    @ hints_configs @ faults_configs @ trace_configs
+    @ hints_configs @ faults_configs @ trace_configs @ storm_configs
   in
   let ns = List.length configs in
   List.iteri
@@ -1375,6 +1540,7 @@ let () =
     let rows = rows @ faults_rows ~quick:!quick ~seed:!seed_ref in
     let rows = rows @ trace_rows ~quick:!quick ~seed:!seed_ref in
     let rows = rows @ fix_rows ~quick:!quick ~seed:!seed_ref in
+    let rows = rows @ storm_rows ~quick:!quick ~seed:!seed_ref in
     let scaling = scaling_rows ~seed:!seed_ref in
     write_json ~out:!out ~quick:!quick ~seed:!seed_ref ~domains ~scaling rows;
     print_summary rows;

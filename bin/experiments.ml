@@ -189,7 +189,7 @@ let chaos_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "test" ] ~docv:"T" ~doc:"run only the named test case (T1..T8)")
+      & info [ "test" ] ~docv:"T" ~doc:"run only the named test case (T1..T10)")
   in
   let no_fast_path_arg =
     Arg.(
@@ -233,7 +233,14 @@ let chaos_cmd =
       | None -> Ok config
       | Some name -> (
           match Raceguard_faults.Plan.lookup name with
-          | Some p -> Ok { config with Raceguard.Chaos.plans = [ p ] }
+          | Some p ->
+              (* a shard plan selects only the scenario half of the
+                 grid; a shipped plan only the T1–T8 half *)
+              if List.exists (fun (q : Raceguard_faults.Plan.t) -> q.p_name = name)
+                   Raceguard_faults.Plan.shard_shipped
+              then
+                Ok { config with Raceguard.Chaos.plans = []; shard_plans = [ p ] }
+              else Ok { config with Raceguard.Chaos.plans = [ p ]; shard_plans = [] }
           | None -> Error (Printf.sprintf "unknown fault plan %S" name))
     in
     match with_plan with
@@ -243,16 +250,15 @@ let chaos_cmd =
           match test with
           | None -> config
           | Some t ->
+              let only (tc : Raceguard_sip.Workload.test_case) = tc.tc_name = t in
               {
                 config with
-                Raceguard.Chaos.tests =
-                  List.filter
-                    (fun (tc : Raceguard_sip.Workload.test_case) -> tc.tc_name = t)
-                    config.Raceguard.Chaos.tests;
+                Raceguard.Chaos.tests = List.filter only config.Raceguard.Chaos.tests;
+                scenario_tests = List.filter only config.Raceguard.Chaos.scenario_tests;
               }
         in
-        match config.Raceguard.Chaos.tests with
-        | [] -> `Error (false, "no test cases selected (expected T1..T8)")
+        match (config.Raceguard.Chaos.tests, config.Raceguard.Chaos.scenario_tests) with
+        | [], [] -> `Error (false, "no test cases selected (expected T1..T10)")
         | _ ->
             let report = Raceguard.Chaos.run config in
             let rendered =
@@ -546,6 +552,96 @@ let json_check_cmd =
   in
   Cmd.v (Cmd.info "json-check" ~doc) Term.(ret (const run $ file_arg))
 
+let scenario_cmd =
+  let doc =
+    "List, export and validate the data-driven storm workload scenarios \
+     (raceguard-scenario/1).  Without arguments, lists the shipped scenarios (T9/T10); \
+     with NAME, prints that scenario (--json for the JSON document); with --check FILE, \
+     parses an external scenario document, validates it and confirms it round-trips."
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"shipped scenario name (T9, T10)")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the raceguard-scenario/1 JSON document")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"write the output to $(docv)")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:"parse and validate $(docv) as a raceguard-scenario/1 document")
+  in
+  let module Scenario = Raceguard_sip.Workload.Scenario in
+  let emit out rendered =
+    match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc rendered;
+        close_out oc;
+        Printf.eprintf "scenario: %s\n%!" file
+    | None -> print_string rendered
+  in
+  let describe (sc : Scenario.t) =
+    let sharded =
+      match sc.sc_sharding with
+      | None -> "unsharded"
+      | Some sp ->
+          Printf.sprintf "sharded %d..%d (grow at %d/shard)" sp.sp_initial sp.sp_max_shards
+            sp.sp_grow_at
+    in
+    Printf.sprintf "%-4s %d agent(s), %s — %s" sc.sc_name (List.length sc.sc_agents) sharded
+      sc.sc_description
+  in
+  let run name json out check =
+    match check with
+    | Some file -> (
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        match Scenario.of_string s with
+        | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+        | Ok sc -> (
+            (* round-trip: the parsed value must re-serialize to a
+               document that parses back to the same value *)
+            match Scenario.of_string (Obs.Json.to_string (Scenario.to_json sc)) with
+            | Ok sc' when sc' = sc ->
+                Printf.printf "%s: ok (schema %s, %s)\n" file Scenario.schema (describe sc);
+                `Ok ()
+            | Ok _ -> `Error (false, Printf.sprintf "%s: round-trip mismatch" file)
+            | Error e -> `Error (false, Printf.sprintf "%s: round-trip parse error: %s" file e)))
+    | None -> (
+        match name with
+        | None ->
+            List.iter
+              (fun sc -> print_endline (describe sc))
+              Raceguard.Scenarios.sip_scenarios;
+            `Ok ()
+        | Some n -> (
+            match Raceguard.Scenarios.sip_lookup n with
+            | None -> `Error (false, Printf.sprintf "unknown scenario %S (expected T9/T10)" n)
+            | Some sc ->
+                let rendered =
+                  if json then
+                    Obs.Json.to_string ~indent:2 (Scenario.to_json sc) ^ "\n"
+                  else describe sc ^ "\n"
+                in
+                emit out rendered;
+                `Ok ()))
+  in
+  Cmd.v (Cmd.info "scenario" ~doc)
+    Term.(ret (const run $ name_arg $ json_arg $ out_arg $ check_arg))
+
 let fix_cmd =
   let doc =
     "Automatically repair confirmed data races in a MiniC++ program: static-lockset-driven \
@@ -611,4 +707,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; explain_cmd; chaos_cmd; fix_cmd; trace_cmd; json_check_cmd ]))
+          [
+            list_cmd; run_cmd; explain_cmd; chaos_cmd; fix_cmd; trace_cmd; json_check_cmd;
+            scenario_cmd;
+          ]))

@@ -38,6 +38,14 @@ type config = {
   seed : int;
   plans : Faults.Plan.t list;
   tests : Sip.Workload.test_case list;
+  shard_plans : Faults.Plan.t list;
+      (** shard-targeted plans — crossed with [scenario_tests] only,
+          never with [tests], so the T1–T8 grid is untouched *)
+  scenario_tests : Sip.Workload.test_case list;
+      (** compiled [raceguard-scenario/1] storm scenarios (T9/T10);
+          their cells run against a sharded registrar ([Resilient] when
+          the cell is resilient, [Legacy_striped] otherwise) and are
+          additionally judged by the {b shards} invariant oracle *)
   fast_path : bool;  (** detector fast path — must not change any digest *)
   max_ops : int;
   domains : int;
@@ -57,11 +65,24 @@ let cell_resilience =
 
 let chaos_opts = Sip.Workload.default_chaos_opts
 
+(** Storm-scenario drivers get a longer retry budget: under the
+    shard plans the pooled server is deliberately slowed, and a driver
+    that gives up while the server is merely saturated (not broken)
+    would turn honest backpressure into a spurious "unanswered"
+    violation. *)
+let scenario_chaos_opts =
+  { chaos_opts with Sip.Workload.co_max_attempts = 14; co_attempt_timeout = 150 }
+
+let scenario_tests_of scenarios =
+  List.map (Sip.Workload.Scenario.to_test_case scenario_chaos_opts) scenarios
+
 let default =
   {
     seed = 7;
     plans = Faults.Plan.shipped;
     tests = Sip.Workload.chaos_test_cases chaos_opts;
+    shard_plans = Faults.Plan.shard_shipped;
+    scenario_tests = scenario_tests_of Scenarios.sip_scenarios;
     fast_path = true;
     max_ops = 4_000_000;
     domains = 1;
@@ -69,7 +90,8 @@ let default =
   }
 
 (** The CI smoke subset: three representative plans (datagram loss,
-    duplication, allocation failure) on two request mixes. *)
+    duplication, allocation failure) on two request mixes, plus the
+    storm-duplication shard plan on both scenarios. *)
 let quick =
   {
     default with
@@ -79,15 +101,23 @@ let quick =
       List.filter
         (fun (tc : Sip.Workload.test_case) -> tc.tc_name = "T2" || tc.tc_name = "T6")
         (Sip.Workload.chaos_test_cases chaos_opts);
+    shard_plans = List.filter_map Faults.Plan.lookup [ "shard-storm" ];
   }
 
 (** Plans that stress scheduling/allocation run against the thread-pool
     server (a queue for overload shedding to watch); pure datagram
-    plans keep the thread-per-request shape. *)
-let pattern_for (plan : Faults.Plan.t) =
-  match plan.p_name with
-  | "oom" | "slow-threads" | "mayhem" -> Sip.Proxy.Pool 2
-  | _ -> Sip.Proxy.Per_request
+    plans keep the thread-per-request shape.  The storm scenario T9
+    always runs pooled (shedding is part of its script); the rebalance
+    scenario T10 always runs thread-per-request (maximum registrar
+    concurrency during migration). *)
+let pattern_for (plan : Faults.Plan.t) (tc : Sip.Workload.test_case) =
+  match tc.tc_name with
+  | "T9" -> Sip.Proxy.Pool 2
+  | "T10" -> Sip.Proxy.Per_request
+  | _ -> (
+      match plan.p_name with
+      | "oom" | "slow-threads" | "mayhem" -> Sip.Proxy.Pool 2
+      | _ -> Sip.Proxy.Per_request)
 
 (* ------------------------------------------------------------------ *)
 (* One cell                                                            *)
@@ -114,6 +144,11 @@ type cell = {
   cl_thread_failures : int;
   cl_deadlocked : bool;
   cl_wall : float;
+  cl_sharded : bool;  (** scenario cell against a sharded registrar *)
+  cl_shard_count : int;  (** final shard count (1 when unsharded) *)
+  cl_resizes : int;
+  cl_migrations : int;
+  cl_shard_audit : string list;  (** {!Sip.Registrar.audit} violations *)
 }
 
 let sig_string (r : Det.Report.t) =
@@ -132,7 +167,7 @@ let final_expectations acked =
     [] acked
   |> List.sort compare
 
-let run_oracles ~(plan : Faults.Plan.t) ~(cr : Sip.Workload.chaos_run_result)
+let run_oracles ~(plan : Faults.Plan.t) ~sharded ~(cr : Sip.Workload.chaos_run_result)
     ~(outcome : Vm.Engine.outcome) =
   let expectations = final_expectations cr.cr_acked_regs in
   let lost =
@@ -185,7 +220,22 @@ let run_oracles ~(plan : Faults.Plan.t) ~(cr : Sip.Workload.chaos_run_result)
                 (List.map (fun (_, name, _) -> name) outcome.Vm.Engine.failures))
          else "clean") }
   in
-  [ o_reg; o_answered; o_shutdown ]
+  let base = [ o_reg; o_answered; o_shutdown ] in
+  if not sharded then base
+  else
+    (* scenario cells only: the sharded-registrar invariant audit
+       (lost / ghost / dup / stale-contact / misplaced bindings and
+       cross-shard lock-order inversions, from the host-side mirrors) *)
+    base
+    @ [
+        { o_name = "shards";
+          o_ok = cr.cr_shard_audit = [];
+          o_detail =
+            (if cr.cr_shard_audit = [] then
+               Printf.sprintf "clean: %d shard(s), %d resize(s), %d migration(s)"
+                 cr.cr_shard_count cr.cr_resizes cr.cr_migrations
+             else String.concat ", " cr.cr_shard_audit) };
+      ]
 
 (* djb2, as elsewhere in the repo *)
 let hash_name name =
@@ -205,13 +255,22 @@ let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_c
   in
   let inj = Faults.Injector.create ~seed:cell_seed ~plan in
   let transport = Sip.Transport.create ~faults:inj () in
+  let sharding =
+    (* scenario cells (T9/T10) run against the sharded registrar:
+       Resilient with the resilience toggle on, Legacy_striped off *)
+    match Scenarios.sip_lookup tc.tc_name with
+    | Some sc -> Sip.Workload.Scenario.sharding ~resilient sc
+    | None -> Sip.Registrar.Unsharded
+  in
+  let sharded = sharding <> Sip.Registrar.Unsharded in
   let server =
     {
       Sip.Proxy.default_config with
       annotate = true;
-      pattern = pattern_for plan;
+      pattern = pattern_for plan tc;
       resilience = (if resilient then Some cell_resilience else None);
       faults = Some inj;
+      registrar_sharding = sharding;
     }
   in
   let recorder =
@@ -261,6 +320,10 @@ let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_c
           cr_sheds = 0;
           cr_cache_hits = 0;
           cr_retransmits = 0;
+          cr_shard_audit = [];
+          cr_shard_count = 1;
+          cr_resizes = 0;
+          cr_migrations = 0;
         }
   in
   (match (config.record_dir, recorder) with
@@ -272,7 +335,7 @@ let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_c
       in
       Det.Offline.to_file r (Filename.concat dir file)
   | _ -> ());
-  let oracles = run_oracles ~plan ~cr ~outcome:result.Runner.outcome in
+  let oracles = run_oracles ~plan ~sharded ~cr ~outcome:result.Runner.outcome in
   let violations =
     List.filter_map (fun o -> if o.o_ok then None else Some (o.o_name ^ ": " ^ o.o_detail)) oracles
   in
@@ -290,9 +353,21 @@ let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_c
       Printf.sprintf "cache_hits=%d" cr.cr_cache_hits;
       Printf.sprintf "retransmits=%d" cr.cr_retransmits;
       Printf.sprintf "injected=%d" (Faults.Injector.total (Faults.Injector.counts inj));
-      "oracles=" ^ String.concat ";"
-        (List.map (fun o -> Printf.sprintf "%s:%b" o.o_name o.o_ok) oracles);
     ]
+    @ (if not sharded then []
+       else
+         (* scenario cells only, so T1–T8 behaviour digests are
+            untouched by the sharding feature *)
+         [
+           Printf.sprintf "shards=%d" cr.cr_shard_count;
+           Printf.sprintf "resizes=%d" cr.cr_resizes;
+           Printf.sprintf "migrations=%d" cr.cr_migrations;
+           "audit=" ^ String.concat "," cr.cr_shard_audit;
+         ])
+    @ [
+        "oracles=" ^ String.concat ";"
+          (List.map (fun o -> Printf.sprintf "%s:%b" o.o_name o.o_ok) oracles);
+      ]
   in
   {
     cl_plan = plan.p_name;
@@ -313,6 +388,11 @@ let run_cell config ~(plan : Faults.Plan.t) ~resilient (tc : Sip.Workload.test_c
     cl_thread_failures = List.length result.Runner.outcome.Vm.Engine.failures;
     cl_deadlocked = result.Runner.outcome.Vm.Engine.deadlock <> None;
     cl_wall = result.Runner.wall_seconds;
+    cl_sharded = sharded;
+    cl_shard_count = cr.cr_shard_count;
+    cl_resizes = cr.cr_resizes;
+    cl_migrations = cr.cr_migrations;
+    cl_shard_audit = cr.cr_shard_audit;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -329,14 +409,19 @@ type report = {
 }
 
 (** The cell grid, in the order the sequential runner executes it:
-    plans outermost, then tests, resilient before baseline. *)
+    plans outermost, then tests, resilient before baseline — the T1–T8
+    grid first, then the shard-plan × scenario grid. *)
 let grid config =
-  List.concat_map
-    (fun plan ->
-      List.concat_map
-        (fun tc -> List.map (fun resilient -> (plan, tc, resilient)) [ true; false ])
-        config.tests)
-    config.plans
+  let cross plans tests =
+    List.concat_map
+      (fun plan ->
+        List.concat_map
+          (fun (tc : Sip.Workload.test_case) ->
+            List.map (fun resilient -> (plan, tc, resilient)) [ true; false ])
+          tests)
+      plans
+  in
+  cross config.plans config.tests @ cross config.shard_plans config.scenario_tests
   |> Array.of_list
 
 let run config =
@@ -377,7 +462,7 @@ let matrix_digest r =
 
 let cell_to_json c =
   Json.Obj
-    [
+    ([
       ("plan", Json.Str c.cl_plan);
       ("test", Json.Str c.cl_test);
       ("resilient", Json.Bool c.cl_resilient);
@@ -406,6 +491,15 @@ let cell_to_json c =
       ("thread_failures", Json.int c.cl_thread_failures);
       ("deadlocked", Json.Bool c.cl_deadlocked);
     ]
+    @
+    if not c.cl_sharded then []
+    else
+      [
+        ("shard_count", Json.int c.cl_shard_count);
+        ("resizes", Json.int c.cl_resizes);
+        ("migrations", Json.int c.cl_migrations);
+        ("shard_audit", Json.List (List.map (fun v -> Json.Str v) c.cl_shard_audit));
+      ])
 
 let to_json ?(config = default) r =
   Json.Obj
@@ -414,7 +508,7 @@ let to_json ?(config = default) r =
       ("seed", Json.int r.rp_seed);
       ("fast_path", Json.Bool r.rp_fast_path);
       ("domains", Json.int r.rp_domains);
-      ("plans", Json.List (List.map Faults.Plan.to_json config.plans));
+      ("plans", Json.List (List.map Faults.Plan.to_json (config.plans @ config.shard_plans)));
       ("cells", Json.List (List.map cell_to_json r.rp_cells));
       ( "summary",
         Json.Obj

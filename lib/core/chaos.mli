@@ -12,6 +12,13 @@ type config = {
   seed : int;
   plans : Faults.Plan.t list;
   tests : Sip.Workload.test_case list;
+  shard_plans : Faults.Plan.t list;
+      (** shard-targeted plans — crossed with [scenario_tests] only,
+          never with [tests], so the T1–T8 grid is untouched *)
+  scenario_tests : Sip.Workload.test_case list;
+      (** compiled [raceguard-scenario/1] storm scenarios (T9/T10);
+          their cells run against a sharded registrar and carry the
+          extra {b shards} invariant oracle *)
   fast_path : bool;
       (** detector fast-path toggle — guaranteed not to change digests *)
   max_ops : int;
@@ -26,11 +33,12 @@ type config = {
 }
 
 val default : config
-(** All shipped plans × all eight chaos test cases × both resilience
-    settings. *)
+(** All shipped plans × all eight chaos test cases, plus all three
+    shard plans × T9/T10, × both resilience settings. *)
 
 val quick : config
-(** The CI smoke subset: plans [drop]/[dup]/[oom] on T2 and T6. *)
+(** The CI smoke subset: plans [drop]/[dup]/[oom] on T2 and T6, plus
+    [shard-storm] on T9/T10. *)
 
 val cell_resilience : Sip.Proxy.resilience
 (** The knobs every resilient cell runs with (low high-water mark so
@@ -58,6 +66,11 @@ type cell = {
   cl_thread_failures : int;
   cl_deadlocked : bool;
   cl_wall : float;
+  cl_sharded : bool;  (** scenario cell against a sharded registrar *)
+  cl_shard_count : int;  (** final shard count (1 when unsharded) *)
+  cl_resizes : int;
+  cl_migrations : int;
+  cl_shard_audit : string list;  (** {!Sip.Registrar.audit} violations *)
 }
 
 val run_cell :
@@ -65,7 +78,8 @@ val run_cell :
 
 val grid : config -> (Faults.Plan.t * Sip.Workload.test_case * bool) array
 (** The cell grid in the order the sequential runner executes it:
-    plans outermost, then tests, resilient before baseline.  Exposed
+    plans outermost, then tests, resilient before baseline; the T1–T8
+    grid first, then the shard-plan × scenario grid.  Exposed
     so harnesses (the bench scaling suite) can drive {!run_cell} over
     the pool themselves and read the steal statistics. *)
 

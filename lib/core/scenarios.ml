@@ -239,3 +239,132 @@ let lock_order_inversion ~force_deadlock () =
   let t2 = Api.spawn ~loc:(lc "main" 23) ~name:"reconcile" reconcile in
   if force_deadlock then Api.join ~loc:(lc "main" 24) t1;
   Api.join ~loc:(lc "main" 25) t2
+
+(* ------------------------------------------------------------------ *)
+(* Shipped SIP storm scenarios (raceguard-scenario/1)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Scenario = Raceguard_sip.Workload.Scenario
+
+(** T9: registration storm against the sharded registrar — five agents
+    hammer REGISTER fast enough that the pool server sheds (503 +
+    Retry-After, honoured by the drivers' backoff), the load factor
+    crosses [grow_at] mid-storm, and the collision AOR pair lands in
+    one bucket.  Resilient flavor: every invariant oracle stays clean.
+    Legacy-striped flavor: collision blindness loses a binding and the
+    storm drives the injected shard races. *)
+let t9_storm =
+  let open Scenario in
+  {
+    sc_name = "T9";
+    sc_description = "registration storm with shedding/backoff (sharded registrar)";
+    sc_sharding = Some { sp_initial = 2; sp_grow_at = 4; sp_max_shards = 8 };
+    sc_agents =
+      [
+        {
+          ag_name = "storm1";
+          ag_steps =
+            [ Repeat { count = 4; body = [ Register { user = "s1u%i"; domain = "example.com"; expires = 100_000 } ] } ];
+        };
+        {
+          ag_name = "storm2";
+          ag_steps =
+            [ Repeat { count = 4; body = [ Register { user = "s2u%i"; domain = "example.com"; expires = 100_000 } ] } ];
+        };
+        {
+          ag_name = "storm3";
+          ag_steps =
+            [
+              Repeat
+                { count = 3; body = [ Register { user = "s3u%i"; domain = "voip.example.net"; expires = 100_000 } ] };
+              Options { domain = "example.com" };
+            ];
+        };
+        {
+          ag_name = "coll";
+          ag_steps =
+            [
+              (* the hash-colliding pair: a legacy-striped registrar
+                 silently drops the first binding *)
+              Register { user = "cxryap02u"; domain = "example.com"; expires = 100_000 };
+              Register { user = "cx96ar2op"; domain = "example.com"; expires = 100_000 };
+              Options { domain = "example.com" };
+            ];
+        };
+        {
+          ag_name = "ping";
+          ag_steps = [ Repeat { count = 3; body = [ Options { domain = "example.com" }; Sleep 3 ] } ];
+        };
+      ];
+  }
+
+(** T10: rebalance under load — fillers push the table across the
+    growth threshold (two online doublings) while a refresher keeps
+    rewriting one binding (the resize-racing-refresh window), calls
+    exercise lookups mid-migration, and churn + the collision pair ride
+    along.  The resilient two-lock transfer keeps the audit clean; the
+    legacy flavor's unlocked transfer, stale router and collision
+    blindness all surface. *)
+let t10_rebalance =
+  let open Scenario in
+  {
+    sc_name = "T10";
+    sc_description = "online shard rebalance under live traffic (sharded registrar)";
+    sc_sharding = Some { sp_initial = 2; sp_grow_at = 3; sp_max_shards = 8 };
+    sc_agents =
+      [
+        {
+          ag_name = "filler1";
+          ag_steps =
+            [ Repeat { count = 4; body = [ Register { user = "rb%i_a"; domain = "example.com"; expires = 100_000 } ] } ];
+        };
+        {
+          ag_name = "filler2";
+          ag_steps =
+            [ Repeat { count = 4; body = [ Register { user = "rb%i_b"; domain = "example.com"; expires = 100_000 } ] } ];
+        };
+        {
+          ag_name = "refresher";
+          ag_steps =
+            [
+              Repeat
+                {
+                  count = 5;
+                  body =
+                    [ Register { user = "rbvic"; domain = "example.com"; expires = 100_000 }; Sleep 2 ];
+                };
+            ];
+        };
+        {
+          ag_name = "caller";
+          ag_steps =
+            [
+              Register { user = "rbcallee"; domain = "example.com"; expires = 100_000 };
+              (* calls target the refresher's binding: cross-agent, so
+                 the driver tolerates a 404 when that REGISTER was shed
+                 — the lookups still cross the migration window *)
+              Repeat
+                {
+                  count = 3;
+                  body =
+                    [ Call { caller = "rbx"; callee = "rbvic"; domain = "example.com"; talk = 3 } ];
+                };
+            ];
+        };
+        {
+          ag_name = "churn";
+          ag_steps =
+            [
+              Register { user = "rbtmp"; domain = "example.com"; expires = 100_000 };
+              Unregister { user = "rbtmp"; domain = "example.com" };
+              Register { user = "cxryap02u"; domain = "example.com"; expires = 100_000 };
+              Register { user = "cx96ar2op"; domain = "example.com"; expires = 100_000 };
+            ];
+        };
+      ];
+  }
+
+let sip_scenarios = [ t9_storm; t10_rebalance ]
+
+let sip_lookup name =
+  List.find_opt (fun (sc : Scenario.t) -> sc.Scenario.sc_name = name) sip_scenarios

@@ -40,3 +40,20 @@ val read_shared_churn :
 val lock_order_inversion : force_deadlock:bool -> unit -> unit
 (** Two locks taken in opposite orders; [force_deadlock] arranges the
     overlap so the run actually deadlocks. *)
+
+(** {1 Shipped SIP storm scenarios ([raceguard-scenario/1])} *)
+
+module Scenario = Raceguard_sip.Workload.Scenario
+
+val t9_storm : Scenario.t
+(** T9: registration storm with shedding/backoff against the sharded
+    registrar (includes the hash-collision AOR pair). *)
+
+val t10_rebalance : Scenario.t
+(** T10: online shard rebalance under live traffic — fillers cross the
+    growth threshold while a refresher races the migration window. *)
+
+val sip_scenarios : Scenario.t list
+
+val sip_lookup : string -> Scenario.t option
+(** Shipped scenario by test-case name ("T9", "T10"). *)

@@ -108,9 +108,43 @@ let mayhem =
 
 let shipped = [ drop; dup; delay; reorder; corrupt; oom; slow_threads; mayhem ]
 
+(* Shard-targeted plans for the T9/T10 storm scenarios: they stretch
+   the windows the striped registrar's bug classes need (lock holds
+   during migration, racing refreshes, duplicated storms) without ever
+   making a request vanish — none is drop-class, so the strict
+   registrations oracle applies to every scenario cell. *)
+
+let shard_delay =
+  {
+    none with
+    p_name = "shard-delay";
+    p_lock_delay = 100;
+    p_lock_delay_ticks = (3, 12);
+  }
+
+let shard_storm =
+  {
+    none with
+    p_name = "shard-storm";
+    p_datagram = { no_datagram with duplicate = 250; delay = 200; delay_ticks = (15, 70) };
+  }
+
+let shard_quake =
+  {
+    none with
+    p_name = "shard-quake";
+    p_datagram = { no_datagram with delay = 120; delay_ticks = (10, 50) };
+    p_spawn_delay = 300;
+    p_spawn_delay_ticks = (20, 80);
+    p_lock_delay = 80;
+    p_lock_delay_ticks = (5, 15);
+  }
+
+let shard_shipped = [ shard_delay; shard_storm; shard_quake ]
+
 let lookup name =
   if name = "none" then Some none
-  else List.find_opt (fun p -> p.p_name = name) shipped
+  else List.find_opt (fun p -> p.p_name = name) (shipped @ shard_shipped)
 
 let has_drops t =
   t.p_datagram.drop > 0 || t.p_datagram.corrupt > 0 || t.p_alloc_failure > 0

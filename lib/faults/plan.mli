@@ -45,8 +45,15 @@ val shipped : t list
 (** The named plans exercised by the chaos matrix: [drop], [dup],
     [delay], [reorder], [corrupt], [oom], [slow-threads], [mayhem]. *)
 
+val shard_shipped : t list
+(** Shard-targeted plans for the T9/T10 storm scenarios:
+    [shard-delay], [shard-storm], [shard-quake].  None is drop-class,
+    so the strict registrations oracle applies to every scenario cell.
+    Deliberately {e not} part of {!shipped} — they only cross with the
+    scenario tests, never with T1–T8. *)
+
 val lookup : string -> t option
-(** Find a shipped plan (or ["none"]) by name. *)
+(** Find a shipped or shard-shipped plan (or ["none"]) by name. *)
 
 val has_drops : t -> bool
 (** True when the plan can make a datagram or a whole request vanish

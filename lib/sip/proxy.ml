@@ -75,6 +75,10 @@ type config = {
   faults : Raceguard_faults.Injector.t option;
       (** fault injector shared with the transport/engine, consulted by
           the allocator (allocation-failure faults) *)
+  registrar_sharding : Registrar.sharding;
+      (** [Unsharded] (the default) keeps the historical single-mutex
+          registrar byte-identical; [Sharded] stripes it with online
+          rebalance (the T9/T10 storm surface) *)
 }
 
 let default_config =
@@ -90,6 +94,7 @@ let default_config =
     domains = [ "example.com"; "voip.example.net"; "pbx.local" ];
     resilience = None;
     faults = None;
+    registrar_sharding = Registrar.Unsharded;
   }
 
 (* class CtxBase { int src_id; }
@@ -543,7 +548,7 @@ let start ~transport config =
   let time = Timeutil.create () in
   let logger = Logger.create ~stats ~time ~annotate:config.annotate in
   Logger.start logger;
-  let registrar = Registrar.create ~alloc ~stats in
+  let registrar = Registrar.create ~sharding:config.registrar_sharding ~alloc ~stats () in
   let dialogs = Dialogs.create ~alloc ~stats in
   (* B2 lives inside: the reloader starts before the map is filled *)
   let domain_data =
@@ -685,3 +690,7 @@ let sheds t = t.sheds
 let cache_hits t = match t.txn_cache with Some c -> Txn_cache.hits c | None -> 0
 let retransmits t = Timer_wheel.resent t.timer
 let bound_aors t = Registrar.bound_aors t.registrar
+let registrar_audit t = Registrar.audit t.registrar
+let registrar_shard_count t = Registrar.shard_count t.registrar
+let registrar_resizes t = Registrar.resizes t.registrar
+let registrar_migrations t = Registrar.migrations t.registrar

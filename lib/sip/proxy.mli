@@ -51,6 +51,10 @@ type config = {
   faults : Raceguard_faults.Injector.t option;
       (** fault injector consulted by the allocator; share the instance
           wired into the transport and engine for one coherent plan *)
+  registrar_sharding : Registrar.sharding;
+      (** [Unsharded] (the default) keeps the historical single-mutex
+          registrar byte-identical; [Sharded] stripes it with online
+          rebalance (the T9/T10 storm surface) *)
 }
 
 val default_config : config
@@ -88,6 +92,14 @@ val retransmits : t -> int
 val bound_aors : t -> string list
 (** Currently bound AORs (host-side mirror; safe after shutdown) — the
     chaos runner's lost-registration oracle. *)
+
+val registrar_audit : t -> string list
+(** {!Registrar.audit} of the server's registrar — the chaos "shards"
+    oracle evidence (host-side, safe after shutdown). *)
+
+val registrar_shard_count : t -> int
+val registrar_resizes : t -> int
+val registrar_migrations : t -> int
 
 (** {1 Exposed for white-box tests} *)
 

@@ -553,12 +553,16 @@ let chaos_options opts d ~domain ~cseq =
   | Some s -> chaos_wrong d ~what:"OPTIONS" ~call_id s
 
 (** One complete call under faults: INVITE until final, ACK, talk,
-    BYE until final. *)
-let chaos_call opts d ~caller ~callee ~domain ~call_id ~cseq ?(talk = 6) () =
+    BYE until final.  [accept_404] makes a 404 final acceptable — for
+    scripts calling a callee whose registration another agent owns (the
+    caller cannot know whether that REGISTER was shed). *)
+let chaos_call opts d ~caller ~callee ~domain ~call_id ~cseq ?(talk = 6) ?(accept_404 = false)
+    () =
   let from = aor caller domain and to_ = aor callee domain in
   let uri = to_ in
   let invite = request ~meth:Sip_msg.INVITE ~uri ~from ~to_ ~call_id ~cseq () in
   match chaos_transact opts d ~wire:invite ~call_id ~cseq with
+  | Some 404 when accept_404 -> ()
   | Some 200 -> (
       send d (request ~meth:Sip_msg.ACK ~uri ~from ~to_ ~call_id ~cseq ());
       Api.sleep talk;
@@ -800,6 +804,12 @@ type chaos_run_result = {
   cr_sheds : int;  (** server-side deliberate 503 count *)
   cr_cache_hits : int;  (** retransmissions absorbed by the cache *)
   cr_retransmits : int;  (** timer-driven 200 retransmissions *)
+  cr_shard_audit : string list;
+      (** {!Registrar.audit} violations after shutdown (empty when the
+          registrar kept its invariants — always, when unsharded) *)
+  cr_shard_count : int;  (** final shard count (1 when unsharded) *)
+  cr_resizes : int;  (** online shard-doublings performed *)
+  cr_migrations : int;  (** bindings moved shard-to-shard *)
 }
 
 (** Chaos variant of {!run_test_case}: same lifecycle, hardened drivers,
@@ -834,4 +844,288 @@ let run_chaos_test_case ~transport ~(server_config : Proxy.config) tc () =
     cr_sheds = Proxy.sheds server;
     cr_cache_hits = Proxy.cache_hits server;
     cr_retransmits = Proxy.retransmits server;
+    cr_shard_audit = Proxy.registrar_audit server;
+    cr_shard_count = Proxy.registrar_shard_count server;
+    cr_resizes = Proxy.registrar_resizes server;
+    cr_migrations = Proxy.registrar_migrations server;
   }
+
+(* ------------------------------------------------------------------ *)
+(* The scenario DSL (raceguard-scenario/1)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Data-driven call-flow scenarios: T9+ workloads are JSON documents
+    compiled onto the hardened chaos drivers, so new storm shapes are
+    data, not code.  Steps run sequentially per agent; every agent is
+    one driver thread.  String fields substitute [%i] (innermost
+    repeat index) and [%a] (agent name); CSeq numbers are assigned
+    automatically per agent from disjoint ranges. *)
+module Scenario = struct
+  type step =
+    | Register of { user : string; domain : string; expires : int }
+    | Unregister of { user : string; domain : string }
+    | Options of { domain : string }
+    | Call of { caller : string; callee : string; domain : string; talk : int }
+    | Sleep of int
+    | Repeat of { count : int; body : step list }
+
+  type agent = { ag_name : string; ag_steps : step list }
+
+  type shard_spec = { sp_initial : int; sp_grow_at : int; sp_max_shards : int }
+
+  type t = {
+    sc_name : string;
+    sc_description : string;
+    sc_sharding : shard_spec option;
+        (** when set, the scenario runs against a sharded registrar
+            ([Resilient] with the chaos resilience toggle on,
+            [Legacy_striped] with it off) *)
+    sc_agents : agent list;
+  }
+
+  let schema = "raceguard-scenario/1"
+
+  let sharding ~resilient t =
+    match t.sc_sharding with
+    | None -> Registrar.Unsharded
+    | Some sp ->
+        Registrar.Sharded
+          {
+            flavor = (if resilient then Registrar.Resilient else Registrar.Legacy_striped);
+            initial = sp.sp_initial;
+            grow_at = sp.sp_grow_at;
+            max_shards = sp.sp_max_shards;
+          }
+
+  (* [%i] -> repeat index, [%a] -> agent name (host-side, cheap) *)
+  let subst ~agent ~index s =
+    if not (String.contains s '%') then s
+    else
+      let buf = Buffer.create (String.length s + 8) in
+      let n = String.length s in
+      let rec go i =
+        if i < n then
+          if s.[i] = '%' && i + 1 < n then (
+            (match s.[i + 1] with
+            | 'i' -> Buffer.add_string buf (string_of_int index)
+            | 'a' -> Buffer.add_string buf agent
+            | c ->
+                Buffer.add_char buf '%';
+                Buffer.add_char buf c);
+            go (i + 2))
+          else (
+            Buffer.add_char buf s.[i];
+            go (i + 1))
+      in
+      go 0;
+      Buffer.contents buf
+
+  let compile_agent opts sc ~agent_index ag d =
+    let cseq = ref (1000 * (agent_index + 1)) in
+    let next () =
+      incr cseq;
+      !cseq
+    in
+    (* registrations this agent attempted / saw acknowledged, keyed by
+       AOR — the T2/T4 idiom generalised: a call to a callee whose
+       registration this agent owns is skipped when that registration
+       was shed away; a call to anyone else tolerates a 404 final *)
+    let attempted = Hashtbl.create 8 and confirmed = Hashtbl.create 8 in
+    let rec exec ~index step =
+      let sub s = subst ~agent:ag.ag_name ~index s in
+      match step with
+      | Register { user; domain; expires } ->
+          let user = sub user in
+          let a = user ^ "@" ^ domain in
+          Hashtbl.replace attempted a ();
+          if chaos_register opts d ~user ~domain ~cseq:(next ()) ~expires () then
+            Hashtbl.replace confirmed a ()
+      | Unregister { user; domain } ->
+          let user = sub user in
+          Hashtbl.remove confirmed (user ^ "@" ^ domain);
+          chaos_unregister opts d ~user ~domain ~cseq:(next ())
+      | Options { domain } -> chaos_options opts d ~domain ~cseq:(next ())
+      | Call { caller; callee; domain; talk } ->
+          let callee = sub callee in
+          let c = next () in
+          ignore (next ());
+          (* the BYE consumes c+1 *)
+          let a = callee ^ "@" ^ domain in
+          let own = Hashtbl.mem attempted a in
+          if own && not (Hashtbl.mem confirmed a) then ()
+            (* this agent's own registration of the callee was shed:
+               skipping mirrors T2's [if reg ... then call ...] *)
+          else
+            chaos_call opts d ~caller:(sub caller) ~callee ~domain
+              ~call_id:(Printf.sprintf "sc-%s-%s-%d" sc.sc_name ag.ag_name c)
+              ~cseq:c ~talk ~accept_404:(not own) ()
+      | Sleep ticks -> Api.sleep ticks
+      | Repeat { count; body } ->
+          for i = 0 to count - 1 do
+            List.iter (exec ~index:i) body
+          done
+    in
+    List.iter (exec ~index:0) ag.ag_steps
+
+  let to_test_case opts sc =
+    {
+      tc_name = sc.sc_name;
+      tc_description = sc.sc_description;
+      tc_drivers =
+        List.mapi
+          (fun i ag -> (ag.ag_name, compile_agent opts sc ~agent_index:i ag))
+          sc.sc_agents;
+    }
+
+  (* --- JSON ------------------------------------------------------- *)
+
+  module Json = Raceguard_obs.Json
+
+  let rec step_to_json = function
+    | Register { user; domain; expires } ->
+        Json.Obj
+          [
+            ("op", Json.Str "register");
+            ("user", Json.Str user);
+            ("domain", Json.Str domain);
+            ("expires", Json.int expires);
+          ]
+    | Unregister { user; domain } ->
+        Json.Obj
+          [ ("op", Json.Str "unregister"); ("user", Json.Str user); ("domain", Json.Str domain) ]
+    | Options { domain } -> Json.Obj [ ("op", Json.Str "options"); ("domain", Json.Str domain) ]
+    | Call { caller; callee; domain; talk } ->
+        Json.Obj
+          [
+            ("op", Json.Str "call");
+            ("caller", Json.Str caller);
+            ("callee", Json.Str callee);
+            ("domain", Json.Str domain);
+            ("talk", Json.int talk);
+          ]
+    | Sleep ticks -> Json.Obj [ ("op", Json.Str "sleep"); ("ticks", Json.int ticks) ]
+    | Repeat { count; body } ->
+        Json.Obj
+          [
+            ("op", Json.Str "repeat");
+            ("count", Json.int count);
+            ("steps", Json.List (List.map step_to_json body));
+          ]
+
+  let to_json sc =
+    Json.Obj
+      [
+        ("schema", Json.Str schema);
+        ("name", Json.Str sc.sc_name);
+        ("description", Json.Str sc.sc_description);
+        ( "sharding",
+          match sc.sc_sharding with
+          | None -> Json.Null
+          | Some sp ->
+              Json.Obj
+                [
+                  ("initial", Json.int sp.sp_initial);
+                  ("grow_at", Json.int sp.sp_grow_at);
+                  ("max_shards", Json.int sp.sp_max_shards);
+                ] );
+        ( "agents",
+          Json.List
+            (List.map
+               (fun ag ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str ag.ag_name);
+                     ("steps", Json.List (List.map step_to_json ag.ag_steps));
+                   ])
+               sc.sc_agents) );
+      ]
+
+  let ( let* ) = Result.bind
+
+  let str_field name j =
+    match Json.member name j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+  let int_field ?default name j =
+    match (Json.member name j, default) with
+    | Some (Json.Num f), _ -> Ok (int_of_float f)
+    | (None | Some Json.Null), Some d -> Ok d
+    | _ -> Error (Printf.sprintf "missing int field %S" name)
+
+  let rec step_of_json j =
+    let* op = str_field "op" j in
+    match op with
+    | "register" ->
+        let* user = str_field "user" j in
+        let* domain = str_field "domain" j in
+        let* expires = int_field ~default:100_000 "expires" j in
+        Ok (Register { user; domain; expires })
+    | "unregister" ->
+        let* user = str_field "user" j in
+        let* domain = str_field "domain" j in
+        Ok (Unregister { user; domain })
+    | "options" ->
+        let* domain = str_field "domain" j in
+        Ok (Options { domain })
+    | "call" ->
+        let* caller = str_field "caller" j in
+        let* callee = str_field "callee" j in
+        let* domain = str_field "domain" j in
+        let* talk = int_field ~default:6 "talk" j in
+        Ok (Call { caller; callee; domain; talk })
+    | "sleep" ->
+        let* ticks = int_field "ticks" j in
+        Ok (Sleep ticks)
+    | "repeat" ->
+        let* count = int_field "count" j in
+        let* body = steps_of_json j in
+        Ok (Repeat { count; body })
+    | op -> Error (Printf.sprintf "unknown op %S" op)
+
+  and steps_of_json j =
+    match Json.member "steps" j with
+    | Some (Json.List l) ->
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            let* s = step_of_json s in
+            Ok (s :: acc))
+          (Ok []) l
+        |> Result.map List.rev
+    | _ -> Error "missing \"steps\" list"
+
+  let of_json j =
+    let* s = str_field "schema" j in
+    if s <> schema then Error (Printf.sprintf "unsupported schema %S (want %S)" s schema)
+    else
+      let* name = str_field "name" j in
+      let* description = str_field "description" j in
+      let* sharding =
+        match Json.member "sharding" j with
+        | None | Some Json.Null -> Ok None
+        | Some sp ->
+            let* initial = int_field "initial" sp in
+            let* grow_at = int_field ~default:0 "grow_at" sp in
+            let* max_shards = int_field ~default:initial "max_shards" sp in
+            Ok (Some { sp_initial = initial; sp_grow_at = grow_at; sp_max_shards = max_shards })
+      in
+      let* agents =
+        match Json.member "agents" j with
+        | Some (Json.List l) ->
+            List.fold_left
+              (fun acc a ->
+                let* acc = acc in
+                let* name = str_field "name" a in
+                let* steps = steps_of_json a in
+                Ok ({ ag_name = name; ag_steps = steps } :: acc))
+              (Ok []) l
+            |> Result.map List.rev
+        | _ -> Error "missing \"agents\" list"
+      in
+      if agents = [] then Error "scenario has no agents"
+      else Ok { sc_name = name; sc_description = description; sc_sharding = sharding; sc_agents = agents }
+
+  let of_string s =
+    match Json.parse s with Error e -> Error ("parse error: " ^ e) | Ok j -> of_json j
+end

@@ -147,6 +147,12 @@ type chaos_run_result = {
   cr_sheds : int;  (** server-side deliberate 503 count *)
   cr_cache_hits : int;  (** retransmissions absorbed by the cache *)
   cr_retransmits : int;  (** timer-driven 200 retransmissions *)
+  cr_shard_audit : string list;
+      (** {!Registrar.audit} violations after shutdown (empty when the
+          registrar kept its invariants — always, when unsharded) *)
+  cr_shard_count : int;  (** final shard count (1 when unsharded) *)
+  cr_resizes : int;  (** online shard-doublings performed *)
+  cr_migrations : int;  (** bindings moved shard-to-shard *)
 }
 
 val run_chaos_test_case :
@@ -157,3 +163,46 @@ val run_chaos_test_case :
   chaos_run_result
 (** Chaos variant of {!run_test_case}: same lifecycle, hardened
     drivers, richer post-run evidence for the invariant oracles. *)
+
+(** {1 The scenario DSL ([raceguard-scenario/1])}
+
+    Data-driven call-flow scenarios: T9+ storm workloads are JSON
+    documents compiled onto the hardened chaos drivers.  String fields
+    substitute [%i] (innermost repeat index) and [%a] (agent name);
+    CSeq numbers are assigned per agent from disjoint ranges. *)
+module Scenario : sig
+  type step =
+    | Register of { user : string; domain : string; expires : int }
+    | Unregister of { user : string; domain : string }
+    | Options of { domain : string }
+    | Call of { caller : string; callee : string; domain : string; talk : int }
+    | Sleep of int
+    | Repeat of { count : int; body : step list }
+
+  type agent = { ag_name : string; ag_steps : step list }
+
+  type shard_spec = { sp_initial : int; sp_grow_at : int; sp_max_shards : int }
+
+  type t = {
+    sc_name : string;
+    sc_description : string;
+    sc_sharding : shard_spec option;
+        (** when set, the scenario runs against a sharded registrar
+            ([Resilient] with the chaos resilience toggle on,
+            [Legacy_striped] with it off) *)
+    sc_agents : agent list;
+  }
+
+  val schema : string
+  (** ["raceguard-scenario/1"] *)
+
+  val sharding : resilient:bool -> t -> Registrar.sharding
+  (** The registrar configuration this scenario's cells run against. *)
+
+  val to_test_case : chaos_opts -> t -> test_case
+  (** Compile onto the hardened chaos drivers (one thread per agent). *)
+
+  val to_json : t -> Raceguard_obs.Json.t
+  val of_json : Raceguard_obs.Json.t -> (t, string) result
+  val of_string : string -> (t, string) result
+end

@@ -162,6 +162,9 @@ let tiny_config ~fast_path =
       List.filter
         (fun (tc : Sip.Workload.test_case) -> tc.tc_name = "T2")
         (Sip.Workload.chaos_test_cases Sip.Workload.default_chaos_opts);
+    (* scenario cells have their own pins in test_shards.ml *)
+    shard_plans = [];
+    scenario_tests = [];
     fast_path;
   }
 

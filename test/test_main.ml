@@ -17,6 +17,7 @@ let () =
       Test_properties.suite;
       Test_fasttrack.suite;
       Test_faults.suite;
+      Test_shards.suite;
       Test_fastpath.suite;
       Test_static.suite;
       Test_callgraph.suite;

@@ -97,7 +97,7 @@ let test_registrar_lifecycle () =
     run (fun () ->
         let alloc = Raceguard_cxxsim.Allocator.create Raceguard_cxxsim.Allocator.Direct in
         let stats = Sip.Stats.create () in
-        let reg = Sip.Registrar.create ~alloc ~stats in
+        let reg = Sip.Registrar.create ~alloc ~stats () in
         let o1 =
           Sip.Registrar.register reg ~annotate:true ~aor:"alice@x" ~contact:"sip:a@1" ~cseq:1
             ~expires:60
@@ -134,7 +134,7 @@ let test_registrar_expiry () =
     run (fun () ->
         let alloc = Raceguard_cxxsim.Allocator.create Raceguard_cxxsim.Allocator.Direct in
         let stats = Sip.Stats.create () in
-        let reg = Sip.Registrar.create ~alloc ~stats in
+        let reg = Sip.Registrar.create ~alloc ~stats () in
         ignore
           (Sip.Registrar.register reg ~annotate:true ~aor:"a@x" ~contact:"c" ~cseq:1 ~expires:0);
         (* expires:0 means unregister in SIP, but register() treats the
